@@ -1,0 +1,50 @@
+package icc
+
+import "repro/internal/model"
+
+// Alg is an algorithm-selection policy. The default, AlgAuto, realizes the
+// paper's central claim: the analytic cost model picks the best hybrid for
+// every vector length, so one library performs well across the whole
+// range. The fixed policies exist for experiments and for applications
+// with unusual knowledge of their traffic.
+type Alg struct {
+	kind  algKind
+	shape model.Shape
+}
+
+type algKind int
+
+const (
+	algAuto algKind = iota
+	algShort
+	algLong
+	algShape
+)
+
+// AlgAuto selects the model-optimal hybrid per call (§7.1).
+var AlgAuto = Alg{kind: algAuto}
+
+// AlgShort always uses the short-vector (minimum spanning tree)
+// algorithms of §4.1/§5.1 — optimal latency, poor asymptotic bandwidth.
+var AlgShort = Alg{kind: algShort}
+
+// AlgLong always uses the long-vector (bucket) algorithms of §4.2/§5.2 —
+// asymptotically optimal bandwidth, (p-1)-step latency.
+var AlgLong = Alg{kind: algLong}
+
+// AlgShape forces an explicit hybrid shape, e.g. the Table 2 entries.
+func AlgShape(s Shape) Alg { return Alg{kind: algShape, shape: s} }
+
+// String describes the policy.
+func (a Alg) String() string {
+	switch a.kind {
+	case algShort:
+		return "short (MST)"
+	case algLong:
+		return "long (bucket)"
+	case algShape:
+		return "shape " + a.shape.String()
+	default:
+		return "auto (model-selected hybrid)"
+	}
+}

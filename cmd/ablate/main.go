@@ -1,0 +1,30 @@
+// Command ablate runs the §8 ablation: the pipelined broadcast of [15]
+// (asymptotically twice as fast as scatter/collect) against the library's
+// scatter/collect broadcast, under increasing operating-system timing
+// noise. It reproduces the paper's observation that "theoretically
+// superior algorithms are often outperformed by simpler algorithms when
+// implemented on real systems".
+//
+// Usage:
+//
+//	go run ./cmd/ablate [-p 16] [-bytes 8388608]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	p := flag.Int("p", 16, "nodes in the linear array")
+	n := flag.Int("bytes", 8<<20, "vector length in bytes")
+	flag.Parse()
+	tab, err := harness.AblatePipelined(*p, *n, []float64{0, 2, 4, 8, 16, 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tab)
+}

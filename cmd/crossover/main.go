@@ -1,0 +1,42 @@
+// Command crossover runs the §5/§6 ablation: for one collective, the
+// short (MST), long (bucket) and automatically selected hybrid algorithms
+// across message lengths on a simulated mesh, showing where the crossovers
+// fall and that the auto hybrid rides the lower envelope.
+//
+// Usage:
+//
+//	go run ./cmd/crossover [-op bcast|collect|allreduce] [-rows 16] [-cols 32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/harness"
+	"repro/internal/model"
+)
+
+func main() {
+	op := flag.String("op", "bcast", "collective: bcast, collect, allreduce")
+	rows := flag.Int("rows", 16, "mesh rows")
+	cols := flag.Int("cols", 32, "mesh columns")
+	flag.Parse()
+	var coll model.Collective
+	switch *op {
+	case "bcast":
+		coll = model.Bcast
+	case "collect":
+		coll = model.Collect
+	case "allreduce":
+		coll = model.AllReduce
+	default:
+		log.Fatalf("unknown -op %q", *op)
+	}
+	lengths := []int{8, 128, 1024, 8192, 65536, 262144, 1 << 20, 4 << 20}
+	tab, err := harness.Crossover(coll, *rows, *cols, lengths)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tab)
+}

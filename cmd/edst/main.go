@@ -1,0 +1,36 @@
+// Command edst runs the hypercube broadcast study of §8/§11: on a native
+// simulated hypercube (the iPSC/860-style machine InterCom had a separate
+// version for), it compares the MST broadcast, the library's
+// scatter/collect broadcast, a direct implementation of the Ho–Johnsson
+// edge-disjoint spanning tree structure, and a pipelined broadcast over a
+// Gray-code Hamiltonian ring — first quiet, then under OS timing noise.
+//
+// Usage:
+//
+//	go run ./cmd/edst [-p 64] [-noise 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	p := flag.Int("p", 64, "hypercube nodes (power of two)")
+	noise := flag.Float64("noise", 16, "OS noise amplitude for the second table, ×α")
+	flag.Parse()
+	lengths := []int{8, 4096, 262144, 1 << 20, 4 << 20, 16 << 20}
+	quiet, err := harness.CubeBroadcasts(*p, lengths, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(quiet)
+	noisy, err := harness.CubeBroadcasts(*p, lengths, *noise)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(noisy)
+}

@@ -1,0 +1,24 @@
+// Command fig1trace regenerates the paper's Fig. 1: the step-by-step data
+// movement of a broadcast hybrid on a 12-node linear array viewed as a
+// 2×2×3 logical mesh with strategy SSMCC — scatters within pairs, MST
+// broadcasts within triples, simultaneous collects within pairs.
+//
+// Usage:
+//
+//	go run ./cmd/fig1trace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	out, err := harness.Fig1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+}

@@ -1,0 +1,29 @@
+// Command fig2 regenerates the paper's Fig. 2: predicted broadcast time
+// versus message length for the Table 2 hybrids on a 30-node linear array
+// with Paragon-like machine parameters, plus the planner's chosen hybrid
+// per length (the lower envelope the library rides).
+//
+// Usage:
+//
+//	go run ./cmd/fig2 [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV for plotting")
+	flag.Parse()
+	lengths := []int{8, 64, 512, 4096, 16384, 65536, 262144, 1 << 20, 4 << 20}
+	tab := harness.Fig2(lengths)
+	if *csv {
+		fmt.Print(tab.CSV())
+		return
+	}
+	fmt.Println(tab)
+	fmt.Println(harness.Fig2Planner(lengths))
+}

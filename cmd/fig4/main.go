@@ -1,0 +1,41 @@
+// Command fig4 regenerates the paper's Fig. 4: measured (simulated)
+// collective performance versus message length. The left panel is a
+// collect on a 16×32 mesh (power-of-two dimensions); the right panel is a
+// broadcast on a 15×30 mesh (significantly non-power-of-two). Each panel
+// compares NX against the InterCom short, long and auto-hybrid algorithms.
+//
+// Usage:
+//
+//	go run ./cmd/fig4 [-panel both|collect|bcast] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	panel := flag.String("panel", "both", "which panel: both, collect, bcast")
+	csv := flag.Bool("csv", false, "emit CSV for plotting")
+	flag.Parse()
+	lengths := []int{8, 64, 512, 4096, 32768, 262144, 1 << 20}
+	show := func(tab harness.Table, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *csv {
+			fmt.Print(tab.CSV())
+		} else {
+			fmt.Println(tab)
+		}
+	}
+	if *panel == "both" || *panel == "collect" {
+		show(harness.Fig4Collect(16, 32, lengths))
+	}
+	if *panel == "both" || *panel == "bcast" {
+		show(harness.Fig4Bcast(15, 30, lengths))
+	}
+}

@@ -1,0 +1,90 @@
+// Command iccsim is the general experiment driver: it times one collective
+// on a simulated wormhole mesh under a chosen algorithm, printing the
+// virtual time and the shape used. It is the tool for exploring the design
+// space beyond the paper's fixed tables.
+//
+// Usage:
+//
+//	go run ./cmd/iccsim -op bcast -rows 16 -cols 32 -bytes 65536 -alg auto
+//	go run ./cmd/iccsim -op allreduce -rows 15 -cols 30 -bytes 1048576 -alg long
+//	go run ./cmd/iccsim -op collect -rows 1 -cols 64 -bytes 4096 -alg nx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/group"
+	"repro/internal/harness"
+	"repro/internal/model"
+)
+
+func main() {
+	opName := flag.String("op", "bcast", "collective: bcast, collect, allreduce")
+	rows := flag.Int("rows", 16, "mesh rows")
+	cols := flag.Int("cols", 32, "mesh columns")
+	bytes := flag.Int("bytes", 65536, "vector length in bytes")
+	alg := flag.String("alg", "auto", "algorithm: auto, short, long, nx")
+	alpha := flag.Float64("alpha", 100e-6, "message latency α (s)")
+	beta := flag.Float64("beta", 1.0/80e6, "per-byte time β (s/B)")
+	gamma := flag.Float64("gamma", 5e-9, "per-byte combine time γ (s/B)")
+	excess := flag.Float64("excess", 2, "link bandwidth excess (≥1)")
+	flag.Parse()
+
+	var op harness.Op
+	switch *opName {
+	case "bcast":
+		op = harness.OpBcast
+	case "collect":
+		op = harness.OpCollect
+	case "allreduce", "gsum":
+		op = harness.OpGlobalSum
+	default:
+		log.Fatalf("unknown -op %q", *opName)
+	}
+	m := model.Machine{Alpha: *alpha, Beta: *beta, Gamma: *gamma, LinkExcess: *excess, StepOverhead: 15e-6}
+	if err := m.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	layout := group.Mesh2D(*rows, *cols)
+
+	var t float64
+	var err error
+	var used string
+	switch *alg {
+	case "nx":
+		t, err = harness.RunNX(op, *rows, *cols, *bytes, m)
+		used = "NX baseline"
+	case "short":
+		s := model.MSTShape(layout)
+		t, err = harness.RunICC(op, *rows, *cols, *bytes, m, s)
+		used = s.String()
+	case "long":
+		s := model.BucketShape(layout)
+		t, err = harness.RunICC(op, *rows, *cols, *bytes, m, s)
+		used = s.String()
+	case "auto":
+		pl := model.NewPlanner(m)
+		s, predicted := pl.Best(collOf(op), layout, *bytes)
+		t, err = harness.RunICC(op, *rows, *cols, *bytes, m, s)
+		used = fmt.Sprintf("%v (model predicted %.4gs)", s, predicted)
+	default:
+		log.Fatalf("unknown -alg %q", *alg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%v of %d bytes on %dx%d mesh via %s: %.6g s\n", op, *bytes, *rows, *cols, used, t)
+}
+
+func collOf(op harness.Op) model.Collective {
+	switch op {
+	case harness.OpBcast:
+		return model.Bcast
+	case harness.OpCollect:
+		return model.Collect
+	default:
+		return model.AllReduce
+	}
+}

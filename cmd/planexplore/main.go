@@ -1,0 +1,65 @@
+// Command planexplore shows the planner's view of the hybrid design space:
+// for a collective, a layout, and a message length, it ranks the candidate
+// shapes by modelled cost and prints each one's Table 2-style coefficients
+// (seconds = a·α + d·δ + b·nβ + g·nγ). This is the tool for understanding
+// *why* the library picks a hybrid — §7.1's "accurate model for their
+// expense" made visible.
+//
+// Usage:
+//
+//	go run ./cmd/planexplore -op bcast -rows 1 -cols 30 -bytes 65536 -top 10
+//	go run ./cmd/planexplore -op allreduce -rows 16 -cols 32 -bytes 1048576
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/group"
+	"repro/internal/harness"
+	"repro/internal/model"
+)
+
+func main() {
+	opName := flag.String("op", "bcast", "collective: bcast, reduce, scatter, gather, collect, reducescatter, allreduce")
+	rows := flag.Int("rows", 1, "mesh rows (1 for a linear array)")
+	cols := flag.Int("cols", 30, "mesh columns")
+	bytes := flag.Int("bytes", 65536, "vector length in bytes")
+	top := flag.Int("top", 12, "show the top-k candidates (0 = all)")
+	flag.Parse()
+
+	colls := map[string]model.Collective{
+		"bcast": model.Bcast, "reduce": model.Reduce, "scatter": model.Scatter,
+		"gather": model.Gather, "collect": model.Collect,
+		"reducescatter": model.ReduceScatter, "allreduce": model.AllReduce,
+	}
+	coll, ok := colls[*opName]
+	if !ok {
+		log.Fatalf("unknown -op %q", *opName)
+	}
+	m := model.ParagonLike()
+	pl := model.NewPlanner(m)
+	var layout group.Layout
+	if *rows == 1 {
+		layout = group.Linear(*cols)
+	} else {
+		layout = group.Mesh2D(*rows, *cols)
+	}
+	ranked := pl.Explain(coll, layout, *bytes, *top)
+
+	tab := harness.Table{
+		Title: fmt.Sprintf("planner ranking: %v of %d bytes on %v (α=%.0fµs, 1/β=%.0fMB/s, δ=%.0fµs)",
+			coll, *bytes, layout, m.Alpha*1e6, 1/m.Beta/1e6, m.StepOverhead*1e6),
+		Header: []string{"#", "shape", "cost (s)", "a (α)", "d (δ)", "b (·nβ)", "g (·nγ)"},
+	}
+	for i, r := range ranked {
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprint(i + 1), r.Shape.String(),
+			fmt.Sprintf("%.4g", r.Cost),
+			fmt.Sprintf("%.0f", r.A), fmt.Sprintf("%.0f", r.D),
+			fmt.Sprintf("%.3f", r.B), fmt.Sprintf("%.3f", r.G),
+		})
+	}
+	fmt.Println(tab)
+}

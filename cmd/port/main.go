@@ -1,0 +1,20 @@
+// Command port runs the §11 porting study: the same library and planner
+// with Touchstone-Delta-like versus Paragon-like machine parameters. The
+// hybrid menu shifts with the α/β ratio and link-bandwidth excess — the
+// paper's claim that retargeting the library "suffices to enter a few
+// parameters".
+//
+// Usage:
+//
+//	go run ./cmd/port
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	fmt.Println(harness.PortStudy(30, []int{8, 4096, 16384, 65536, 1 << 20}))
+}

@@ -1,0 +1,17 @@
+// Command table2 regenerates the paper's Table 2: the menu of broadcast
+// hybrids for a 30-node linear array with their α and β cost coefficients.
+//
+// Usage:
+//
+//	go run ./cmd/table2
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	fmt.Println(harness.Table2())
+}

@@ -1,0 +1,384 @@
+package icc
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/group"
+	"repro/internal/model"
+	"repro/internal/transport"
+)
+
+// Re-exported element types and combine operations, so applications only
+// import this package.
+type (
+	// Type identifies a vector element type (datatype.Type).
+	Type = datatype.Type
+	// Op identifies an associative, commutative combine operation.
+	Op = datatype.Op
+	// Machine holds α/β/γ machine parameters (model.Machine).
+	Machine = model.Machine
+	// Shape is an explicit hybrid algorithm description (model.Shape).
+	Shape = model.Shape
+)
+
+// Element types.
+const (
+	Uint8   = datatype.Uint8
+	Int32   = datatype.Int32
+	Int64   = datatype.Int64
+	Float32 = datatype.Float32
+	Float64 = datatype.Float64
+)
+
+// Combine operations.
+const (
+	Sum  = datatype.Sum
+	Prod = datatype.Prod
+	Max  = datatype.Max
+	Min  = datatype.Min
+)
+
+// Comm is a communicator: an ordered group of nodes that collective
+// operations span, with rank = position in the group (§9's group array).
+// A Comm is not safe for concurrent use; a node runs one collective at a
+// time, and every member must call the same collectives in the same order
+// (SPMD).
+type Comm struct {
+	ep      transport.Endpoint
+	members []int
+	me      int
+	layout  group.Layout
+	mach    model.Machine
+	hasMach bool
+	planner *model.Planner
+	alg     Alg
+	// ctxID is this communicator's tag namespace, assigned at creation
+	// from a per-rank counter (like an MPI context id). Collectives on
+	// different communicators thus use distinct tags even when
+	// interleaved; successive collectives on one communicator rely on
+	// per-pair FIFO ordering, which SPMD call discipline guarantees.
+	ctxID uint32
+	seq   *atomic.Uint32 // per-rank context id allocator, shared with subgroups
+}
+
+// Option configures a communicator.
+type Option func(*Comm)
+
+// WithMachine attaches machine parameters used for automatic algorithm
+// selection (and, on virtual-time transports, γ and per-stage accounting).
+// Simulated endpoints supply their machine automatically.
+func WithMachine(m Machine) Option {
+	return func(c *Comm) { c.mach, c.hasMach = m, true }
+}
+
+// WithMesh declares that the endpoint's world is an rows×cols physical
+// mesh with row-major ranks, enabling the §7.1 mesh refinements (bucket
+// primitives within physical rows and columns).
+func WithMesh(rows, cols int) Option {
+	return func(c *Comm) { c.layout = group.Mesh2D(rows, cols) }
+}
+
+// WithAlg sets the default algorithm policy (AlgAuto if unset).
+func WithAlg(a Alg) Option {
+	return func(c *Comm) { c.alg = a }
+}
+
+// New builds a whole-world communicator over an endpoint.
+func New(ep transport.Endpoint, opts ...Option) (*Comm, error) {
+	c := &Comm{
+		ep:      ep,
+		members: group.Identity(ep.Size()),
+		me:      ep.Rank(),
+		layout:  group.Linear(ep.Size()),
+		alg:     AlgAuto,
+		seq:     &atomic.Uint32{},
+	}
+	c.ctxID = c.seq.Add(1) & 0x7f
+	if mp, ok := ep.(interface{ Machine() model.Machine }); ok {
+		c.mach, c.hasMach = mp.Machine(), true
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.layout.P() != ep.Size() {
+		return nil, fmt.Errorf("icc: layout %v does not span world of %d", c.layout, ep.Size())
+	}
+	if !c.hasMach {
+		c.mach = model.ParagonLike()
+	}
+	c.planner = model.NewPlanner(c.mach)
+	return c, nil
+}
+
+// Rank returns this node's position in the communicator's group.
+func (c *Comm) Rank() int { return c.me }
+
+// Size returns the number of nodes in the communicator.
+func (c *Comm) Size() int { return len(c.members) }
+
+// Members returns a copy of the group's member list (transport ranks).
+func (c *Comm) Members() []int { return append([]int(nil), c.members...) }
+
+// Layout returns the detected or declared physical structure of the group.
+func (c *Comm) Layout() group.Layout { return c.layout }
+
+// MachineModel returns the machine parameters used for planning.
+func (c *Comm) MachineModel() Machine { return c.mach }
+
+// ctx builds the core invocation context in this communicator's tag
+// namespace (context ids 0x80 and up are reserved for other libraries,
+// e.g. the NX baseline).
+func (c *Comm) ctx() core.Ctx {
+	return core.Ctx{
+		EP:      c.ep,
+		Members: c.members,
+		Me:      c.me,
+		Coll:    c.ctxID,
+		Machine: &c.mach,
+	}
+}
+
+// shape resolves the algorithm policy into a concrete hybrid shape for an
+// n-byte vector.
+func (c *Comm) shape(coll model.Collective, nBytes int) Shape {
+	switch c.alg.kind {
+	case algShort:
+		return model.MSTShape(c.layout)
+	case algLong:
+		return model.BucketShape(c.layout)
+	case algShape:
+		return c.alg.shape
+	default:
+		s, _ := c.planner.Best(coll, c.layout, nBytes)
+		return s
+	}
+}
+
+// carries reports whether payload bytes move on this transport.
+func (c *Comm) carries() bool { return transport.CarriesData(c.ep) }
+
+// scratch allocates n bytes, or nil on timing-only transports.
+func (c *Comm) scratch(n int) []byte {
+	if !c.carries() {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// Bcast broadcasts count elements of type dt from root to every node, in
+// place in buf (Table 1: x at all Pj).
+func (c *Comm) Bcast(buf []byte, count int, dt Type, root int) error {
+	n := count * dt.Size()
+	return core.Bcast(c.ctx(), c.shape(model.Bcast, n), root, buf, count, dt.Size())
+}
+
+// Reduce combines each node's count-element send vector with op and leaves
+// the result in recv on the root (Table 1: ⊕y(j) at Pk). recv is only
+// written on the root and must not overlap send.
+func (c *Comm) Reduce(send, recv []byte, count int, dt Type, op Op, root int) error {
+	n := count * dt.Size()
+	work := c.scratch(n)
+	tmp := c.scratch(n)
+	if c.carries() {
+		if len(send) < n {
+			return fmt.Errorf("icc: reduce send buffer %d bytes, need %d", len(send), n)
+		}
+		copy(work, send[:n])
+	}
+	if err := core.Reduce(c.ctx(), c.shape(model.Reduce, n), root, work, tmp, count, dt, op); err != nil {
+		return err
+	}
+	if c.me == root && c.carries() {
+		if len(recv) < n {
+			return fmt.Errorf("icc: reduce recv buffer %d bytes, need %d", len(recv), n)
+		}
+		copy(recv[:n], work)
+	}
+	return nil
+}
+
+// AllReduce combines each node's send vector and leaves the result in recv
+// on every node (Table 1: ⊕y(j) at all Pj).
+func (c *Comm) AllReduce(send, recv []byte, count int, dt Type, op Op) error {
+	n := count * dt.Size()
+	work := c.scratch(n)
+	tmp := c.scratch(n)
+	if c.carries() {
+		if len(send) < n || len(recv) < n {
+			return fmt.Errorf("icc: all-reduce buffers %d/%d bytes, need %d", len(send), len(recv), n)
+		}
+		copy(work, send[:n])
+	}
+	if err := core.AllReduce(c.ctx(), c.shape(model.AllReduce, n), work, tmp, count, dt, op); err != nil {
+		return err
+	}
+	if c.carries() {
+		copy(recv[:n], work)
+	}
+	return nil
+}
+
+// Scatter splits root's send vector into equal count-element segments and
+// delivers segment i to node i's recv (Table 1: xj at Pj). send is read
+// only on the root.
+func (c *Comm) Scatter(send, recv []byte, count int, dt Type, root int) error {
+	counts := make([]int, c.Size())
+	for i := range counts {
+		counts[i] = count
+	}
+	return c.Scatterv(send, counts, recv, dt, root)
+}
+
+// Scatterv is Scatter with per-node element counts; node i receives
+// counts[i] elements.
+func (c *Comm) Scatterv(send []byte, counts []int, recv []byte, dt Type, root int) error {
+	offs, total, err := c.offsets(counts, dt)
+	if err != nil {
+		return err
+	}
+	work := c.scratch(total)
+	if c.carries() {
+		if c.me == root {
+			if len(send) < total {
+				return fmt.Errorf("icc: scatter send buffer %d bytes, need %d", len(send), total)
+			}
+			copy(work, send[:total])
+		}
+		if len(recv) < offs[c.me+1]-offs[c.me] {
+			return fmt.Errorf("icc: scatter recv buffer %d bytes, need %d", len(recv), offs[c.me+1]-offs[c.me])
+		}
+	}
+	if err := core.Scatter(c.ctx(), c.shape(model.Scatter, total), root, work, counts, dt.Size()); err != nil {
+		return err
+	}
+	if c.carries() {
+		copy(recv, work[offs[c.me]:offs[c.me+1]])
+	}
+	return nil
+}
+
+// Gather assembles each node's count-element send segment into recv on the
+// root (Table 1: x at Pk). recv is only written on the root.
+func (c *Comm) Gather(send, recv []byte, count int, dt Type, root int) error {
+	counts := make([]int, c.Size())
+	for i := range counts {
+		counts[i] = count
+	}
+	return c.Gatherv(send, counts, recv, dt, root)
+}
+
+// Gatherv is Gather with per-node element counts.
+func (c *Comm) Gatherv(send []byte, counts []int, recv []byte, dt Type, root int) error {
+	offs, total, err := c.offsets(counts, dt)
+	if err != nil {
+		return err
+	}
+	work := c.scratch(total)
+	mine := offs[c.me+1] - offs[c.me]
+	if c.carries() {
+		if len(send) < mine {
+			return fmt.Errorf("icc: gather send buffer %d bytes, need %d", len(send), mine)
+		}
+		copy(work[offs[c.me]:offs[c.me+1]], send[:mine])
+	}
+	if err := core.Gather(c.ctx(), c.shape(model.Gather, total), root, work, counts, dt.Size()); err != nil {
+		return err
+	}
+	if c.me == root && c.carries() {
+		if len(recv) < total {
+			return fmt.Errorf("icc: gather recv buffer %d bytes, need %d", len(recv), total)
+		}
+		copy(recv[:total], work)
+	}
+	return nil
+}
+
+// Collect assembles each node's count-element send segment on every node
+// (Table 1: x at all Pj) — the all-gather.
+func (c *Comm) Collect(send, recv []byte, count int, dt Type) error {
+	counts := make([]int, c.Size())
+	for i := range counts {
+		counts[i] = count
+	}
+	return c.Collectv(send, counts, recv, dt)
+}
+
+// Collectv is Collect with per-node element counts — the "known lengths"
+// collect of Table 3. recv spans the whole vector on every node and is
+// used as the working buffer.
+func (c *Comm) Collectv(send []byte, counts []int, recv []byte, dt Type) error {
+	offs, total, err := c.offsets(counts, dt)
+	if err != nil {
+		return err
+	}
+	mine := offs[c.me+1] - offs[c.me]
+	if c.carries() {
+		if len(send) < mine {
+			return fmt.Errorf("icc: collect send buffer %d bytes, need %d", len(send), mine)
+		}
+		if len(recv) < total {
+			return fmt.Errorf("icc: collect recv buffer %d bytes, need %d", len(recv), total)
+		}
+		copy(recv[offs[c.me]:offs[c.me+1]], send[:mine])
+	}
+	var buf []byte
+	if c.carries() {
+		buf = recv[:total]
+	}
+	return core.Collect(c.ctx(), c.shape(model.Collect, total), buf, counts, dt.Size())
+}
+
+// ReduceScatter combines every node's full send vector with op and leaves
+// segment i (counts[i] elements) in node i's recv — Table 1's distributed
+// combine.
+func (c *Comm) ReduceScatter(send []byte, counts []int, recv []byte, dt Type, op Op) error {
+	offs, total, err := c.offsets(counts, dt)
+	if err != nil {
+		return err
+	}
+	work := c.scratch(total)
+	tmp := c.scratch(total)
+	mine := offs[c.me+1] - offs[c.me]
+	if c.carries() {
+		if len(send) < total {
+			return fmt.Errorf("icc: reduce-scatter send buffer %d bytes, need %d", len(send), total)
+		}
+		if len(recv) < mine {
+			return fmt.Errorf("icc: reduce-scatter recv buffer %d bytes, need %d", len(recv), mine)
+		}
+		copy(work, send[:total])
+	}
+	if err := core.ReduceScatter(c.ctx(), c.shape(model.ReduceScatter, total), work, tmp, counts, dt, op); err != nil {
+		return err
+	}
+	if c.carries() {
+		copy(recv[:mine], work[offs[c.me]:offs[c.me+1]])
+	}
+	return nil
+}
+
+// Barrier blocks until every node of the communicator has entered it,
+// implemented as a zero-length combine-to-all.
+func (c *Comm) Barrier() error {
+	s := model.MSTShape(c.layout)
+	return core.AllReduce(c.ctx(), s, nil, nil, 0, Uint8, Sum)
+}
+
+// offsets validates counts and returns byte offsets plus the total byte
+// length.
+func (c *Comm) offsets(counts []int, dt Type) ([]int, int, error) {
+	if len(counts) != c.Size() {
+		return nil, 0, fmt.Errorf("icc: %d counts for communicator of %d", len(counts), c.Size())
+	}
+	offs := make([]int, len(counts)+1)
+	for i, n := range counts {
+		if n < 0 {
+			return nil, 0, fmt.Errorf("icc: negative count %d at %d", n, i)
+		}
+		offs[i+1] = offs[i] + n*dt.Size()
+	}
+	return offs, offs[len(counts)], nil
+}

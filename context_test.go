@@ -1,0 +1,141 @@
+package icc_test
+
+import (
+	"testing"
+
+	icc "repro"
+	"repro/internal/datatype"
+)
+
+// TestUnevenGroupActivity: different groups perform different numbers of
+// collectives before rejoining a whole-world collective. Per-communicator
+// context ids (not per-call sequence numbers) make the world collective's
+// tags agree across nodes regardless of the uneven history — the scenario
+// that breaks naive tag schemes.
+func TestUnevenGroupActivity(t *testing.T) {
+	const rows, cols = 2, 4
+	w := icc.NewChannelWorld(rows*cols, icc.WithMesh(rows, cols))
+	err := w.Run(func(c *icc.Comm) error {
+		row, err := c.SubRow()
+		if err != nil {
+			return err
+		}
+		// Row 0 broadcasts once; row 1 broadcasts three times.
+		reps := 1
+		if c.Rank() >= cols {
+			reps = 3
+		}
+		buf := make([]byte, 16)
+		for i := 0; i < reps; i++ {
+			if row.Rank() == 0 {
+				for j := range buf {
+					buf[j] = byte(i + 1)
+				}
+			}
+			if err := row.Bcast(buf, 16, icc.Uint8, 0); err != nil {
+				return err
+			}
+		}
+		// Now everyone joins a world all-reduce; tags must still match.
+		send := make([]byte, 8)
+		recv := make([]byte, 8)
+		datatype.PutInt64s(send, []int64{int64(c.Rank())})
+		if err := c.AllReduce(send, recv, 1, icc.Int64, icc.Sum); err != nil {
+			return err
+		}
+		want := int64(rows * cols * (rows*cols - 1) / 2)
+		if got := datatype.Int64s(recv)[0]; got != want {
+			return icc.Errorf(c, "world sum after uneven group activity = %d, want %d", got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInterleavedGroupCollectives: row and column collectives interleave
+// on every node (row, column, row) without tag confusion.
+func TestInterleavedGroupCollectives(t *testing.T) {
+	const rows, cols = 3, 3
+	w := icc.NewChannelWorld(rows*cols, icc.WithMesh(rows, cols))
+	err := w.Run(func(c *icc.Comm) error {
+		row, err := c.SubRow()
+		if err != nil {
+			return err
+		}
+		col, err := c.SubColumn()
+		if err != nil {
+			return err
+		}
+		for round := 0; round < 3; round++ {
+			send := make([]byte, 8)
+			recv := make([]byte, 8)
+			datatype.PutInt64s(send, []int64{int64(c.Rank() + round)})
+			if err := row.AllReduce(send, recv, 1, icc.Int64, icc.Sum); err != nil {
+				return err
+			}
+			rowBase := c.Rank() / cols * cols
+			var wantRow int64
+			for j := 0; j < cols; j++ {
+				wantRow += int64(rowBase + j + round)
+			}
+			if got := datatype.Int64s(recv)[0]; got != wantRow {
+				return icc.Errorf(c, "round %d row sum %d, want %d", round, got, wantRow)
+			}
+			if err := col.AllReduce(send, recv, 1, icc.Int64, icc.Sum); err != nil {
+				return err
+			}
+			var wantCol int64
+			for i := 0; i < rows; i++ {
+				wantCol += int64(i*cols + c.Rank()%cols + round)
+			}
+			if got := datatype.Int64s(recv)[0]; got != wantCol {
+				return icc.Errorf(c, "round %d col sum %d, want %d", round, got, wantCol)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNestedSubgroups: a subgroup of a subgroup still works (planned as a
+// linear array, per §9's fallback).
+func TestNestedSubgroups(t *testing.T) {
+	w := icc.NewChannelWorld(12, icc.WithMesh(3, 4))
+	err := w.Run(func(c *icc.Comm) error {
+		row, err := c.SubRow()
+		if err != nil {
+			return err
+		}
+		// First two nodes of each row.
+		pair, err := row.Sub([]int{0, 1})
+		if err != nil {
+			return err
+		}
+		if (row.Rank() < 2) != (pair != nil) {
+			return icc.Errorf(c, "nested membership wrong")
+		}
+		if pair != nil {
+			buf := make([]byte, 8)
+			if pair.Rank() == 0 {
+				for i := range buf {
+					buf[i] = byte(c.Rank() + 100)
+				}
+			}
+			if err := pair.Bcast(buf, 8, icc.Uint8, 0); err != nil {
+				return err
+			}
+			leader := byte(c.Rank()/4*4 + 100)
+			if buf[0] != leader {
+				return icc.Errorf(c, "nested bcast got %d, want %d", buf[0], leader)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+// Package icc is a high-performance collective communication library — a
+// from-scratch Go reproduction of the InterCom library of Barnett, Shuler,
+// Gupta, Payne, van de Geijn and Watts ("Building a High-Performance
+// Collective Communication Library", SC 1994).
+//
+// The library provides the seven collective operations of the paper's
+// Table 1 — broadcast, scatter, gather, collect (all-gather),
+// combine-to-one (reduce), distributed combine (reduce-scatter) and
+// combine-to-all (all-reduce) — implemented from a small set of
+// conflict-free building blocks:
+//
+//   - short-vector primitives (§4.1): minimum-spanning-tree broadcast,
+//     combine-to-one, scatter and gather, each ⌈log₂p⌉ steps on any group
+//     size (no power-of-two requirement);
+//   - long-vector primitives (§4.2): bucket (ring) collect and bucket
+//     distributed combine, which trade latency for asymptotically optimal
+//     bandwidth.
+//
+// Between the two extremes lie the hybrid algorithms of §6: the group is
+// viewed as a logical d1×…×dk mesh and each dimension runs a long-vector
+// stage on the way in, the short-vector algorithm at the switch point, and
+// a long-vector stage on the way out. An analytic α+nβ+nγ cost model
+// (package internal/model) selects the best hybrid for every vector length
+// automatically, which is what makes one library perform well "for various
+// sized vectors and grid dimensions, including non-power-of-two grids".
+//
+// Collectives run over any point-to-point transport implementing
+// internal/transport.Endpoint: in-process channels, TCP sockets, or the
+// discrete-event wormhole-mesh simulator (internal/simnet) that stands in
+// for the paper's 512-node Intel Paragon.
+//
+// Group collective communication (§9) works exactly as in the paper: a
+// communicator is an ordered member list providing the logical-to-physical
+// mapping, and sub-communicators (rows, columns, arbitrary subsets) run
+// the same algorithms, planned against their detected physical structure.
+//
+// # Quick start
+//
+//	world := icc.NewChannelWorld(8)
+//	world.Run(func(c *icc.Comm) error {
+//	    x := make([]byte, 8*1024)
+//	    // ... fill x on rank 0 ...
+//	    return c.Bcast(x, len(x), datatype.Uint8, 0)
+//	})
+//
+// See examples/ for complete programs and EXPERIMENTS.md for the
+// reproduction of every table and figure in the paper.
+package icc

@@ -1,0 +1,113 @@
+// NX port: a program written against the Paragon's NX global operations,
+// running unchanged over InterCom through the nxcompat interface — the
+// §10 migration path ("link in NXtoiCC.<vers>.a instead of iCC.<vers>.a";
+// only csend(-1) becomes iCChcast). The computation is a toy simulation
+// step: every node owns particles, the nodes agree on a global bounding
+// box (gdlow/gdhigh), histogram particles into bins (gisum), and gather
+// per-node summaries (gcolx).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	icc "repro"
+	"repro/internal/datatype"
+	"repro/nxcompat"
+)
+
+func main() {
+	const p = 8
+	const perNode = 1000
+	world := icc.NewChannelWorld(p)
+	err := world.Run(func(c *icc.Comm) error {
+		nx := nxcompat.New(c)
+		me := c.Rank()
+		r := rand.New(rand.NewSource(int64(me) + 1))
+		xs := make([]float64, perNode)
+		for i := range xs {
+			xs[i] = r.NormFloat64()*float64(me+1) + float64(me*10)
+		}
+
+		// Global bounding box, NX style: gdlow/gdhigh on 1-vectors.
+		lo := []float64{math.Inf(1)}
+		hi := []float64{math.Inf(-1)}
+		for _, x := range xs {
+			lo[0] = math.Min(lo[0], x)
+			hi[0] = math.Max(hi[0], x)
+		}
+		work := make([]float64, 1)
+		if err := nx.Gdlow(lo, work); err != nil {
+			return err
+		}
+		if err := nx.Gdhigh(hi, work); err != nil {
+			return err
+		}
+
+		// Histogram into 16 global bins: gisum.
+		const bins = 16
+		hist := make([]int32, bins)
+		width := (hi[0] - lo[0]) / bins
+		for _, x := range xs {
+			b := int((x - lo[0]) / width)
+			if b >= bins {
+				b = bins - 1
+			}
+			hist[b]++
+		}
+		iwork := make([]int32, bins)
+		if err := nx.Gisum(hist, iwork); err != nil {
+			return err
+		}
+		var total int32
+		for _, h := range hist {
+			total += h
+		}
+		if total != p*perNode {
+			return icc.Errorf(c, "histogram lost particles: %d", total)
+		}
+
+		// Per-node means, gathered everywhere with gcolx.
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= perNode
+		mine := make([]byte, 8)
+		datatype.PutFloat64s(mine, []float64{mean})
+		lens := make([]int, p)
+		for i := range lens {
+			lens[i] = 8
+		}
+		all := make([]byte, 8*p)
+		if err := nx.Gcolx(mine, lens, all); err != nil {
+			return err
+		}
+		means := datatype.Float64s(all)
+
+		if err := nx.Gsync(); err != nil {
+			return err
+		}
+		if me == 0 {
+			fmt.Printf("nxport: %d nodes, %d particles — NX calls over InterCom\n", p, p*perNode)
+			fmt.Printf("  bounding box [%.2f, %.2f], busiest bin %d, node means %.1f..%.1f\n",
+				lo[0], hi[0], maxIdx(hist), means[0], means[p-1])
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func maxIdx(h []int32) int {
+	best := 0
+	for i, v := range h {
+		if v > h[best] {
+			best = i
+		}
+	}
+	return best
+}

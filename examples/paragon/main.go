@@ -1,0 +1,49 @@
+// Paragon: drive the discrete-event wormhole-mesh simulator through the
+// public API, timing the same broadcast on a 512-node (16×32) simulated
+// Paragon under the three algorithm policies — short (MST), long
+// (scatter/collect) and the model-selected hybrid — across message
+// lengths. This is the experiment behind Fig. 2/Fig. 4's message-length
+// sweeps, runnable on a laptop.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	icc "repro"
+)
+
+func main() {
+	const rows, cols = 16, 32
+	machine := icc.ParagonMachine()
+	lengths := []int{8, 1024, 65536, 1 << 20}
+	algs := []struct {
+		name string
+		alg  icc.Alg
+	}{
+		{"short (MST)", icc.AlgShort},
+		{"long (scatter/collect)", icc.AlgLong},
+		{"auto hybrid", icc.AlgAuto},
+	}
+
+	fmt.Printf("broadcast on a simulated %dx%d Paragon (α=%.0fµs, 1/β=%.0fMB/s)\n",
+		rows, cols, machine.Alpha*1e6, 1/machine.Beta/1e6)
+	fmt.Printf("%-10s", "bytes")
+	for _, a := range algs {
+		fmt.Printf("  %-22s", a.name)
+	}
+	fmt.Println()
+	for _, n := range lengths {
+		fmt.Printf("%-10d", n)
+		for _, a := range algs {
+			res, err := icc.SimulateMesh(rows, cols, machine, false, func(c *icc.Comm) error {
+				return c.Bcast(nil, n, icc.Uint8, 0)
+			}, icc.WithAlg(a.alg))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-22s", fmt.Sprintf("%.4g s", res.Seconds))
+		}
+		fmt.Println()
+	}
+}

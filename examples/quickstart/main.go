@@ -1,0 +1,64 @@
+// Quickstart: eight SPMD ranks over the in-process channel transport run
+// the two most common collectives — a broadcast and a global sum — through
+// the public API. This is the "introduce the calling sequences into your
+// program and link the library" workflow of §10.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	icc "repro"
+	"repro/internal/datatype"
+)
+
+func main() {
+	const p = 8
+	const n = 1024 // float64 elements
+
+	world := icc.NewChannelWorld(p)
+	err := world.Run(func(c *icc.Comm) error {
+		// Rank 0 fills a vector; everyone receives it.
+		x := make([]float64, n)
+		if c.Rank() == 0 {
+			for i := range x {
+				x[i] = float64(i) * 0.5
+			}
+		}
+		buf := make([]byte, 8*n)
+		datatype.PutFloat64s(buf, x)
+		if err := c.Bcast(buf, n, icc.Float64, 0); err != nil {
+			return err
+		}
+		x = datatype.Float64s(buf)
+
+		// Every rank contributes rank+1 times the vector; the global sum
+		// of the scale factors is p(p+1)/2.
+		local := make([]float64, n)
+		for i := range local {
+			local[i] = x[i] * float64(c.Rank()+1)
+		}
+		send := make([]byte, 8*n)
+		recv := make([]byte, 8*n)
+		datatype.PutFloat64s(send, local)
+		if err := c.AllReduce(send, recv, n, icc.Float64, icc.Sum); err != nil {
+			return err
+		}
+		sum := datatype.Float64s(recv)
+
+		scale := float64(p * (p + 1) / 2)
+		for i := range sum {
+			if want := x[i] * scale; sum[i] != want {
+				return icc.Errorf(c, "element %d: %v, want %v", i, sum[i], want)
+			}
+		}
+		if c.Rank() == 0 {
+			fmt.Printf("quickstart: %d ranks, broadcast + global sum of %d float64s ok\n", p, n)
+			fmt.Printf("  sum[0]=%v sum[%d]=%v (scale %v)\n", sum[0], n-1, sum[n-1], scale)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package icc
+
+import (
+	"fmt"
+
+	"repro/internal/group"
+)
+
+// Group collective communication (§9). A sub-communicator is defined by an
+// ordered list of parent ranks; its collectives involve only those nodes
+// and renumber them 0..len-1. The library extracts what it can about the
+// group's physical structure: groups forming physical rows, columns,
+// contiguous ranges or rectangular sub-meshes keep the mesh-aware
+// algorithm menu, while unstructured groups are planned as linear arrays,
+// exactly the policy described in the paper.
+
+// Sub returns the sub-communicator of the listed parent ranks (in the
+// given order). Only members may use the returned communicator; a
+// non-member receives nil. Every member must call Sub with the same list.
+func (c *Comm) Sub(ranks []int) (*Comm, error) {
+	if err := group.Validate(ranks, c.Size()); err != nil {
+		return nil, err
+	}
+	members := make([]int, len(ranks))
+	for i, r := range ranks {
+		members[i] = c.members[r]
+	}
+	me := group.Index(members, c.ep.Rank())
+	if me < 0 {
+		return nil, nil
+	}
+	// Detect physical structure in world-rank space. The world layout is
+	// only meaningful for whole-world communicators; otherwise fall back
+	// to a linear view.
+	phys := c.layout
+	if len(c.members) != c.ep.Size() {
+		phys = group.Linear(c.ep.Size())
+	}
+	sub, _ := group.DetectStructure(members, phys)
+	s := &Comm{
+		ep:      c.ep,
+		members: members,
+		me:      me,
+		layout:  sub,
+		mach:    c.mach,
+		hasMach: c.hasMach,
+		planner: c.planner,
+		alg:     c.alg,
+		seq:     c.seq,
+	}
+	s.ctxID = c.seq.Add(1) & 0x7f
+	return s, nil
+}
+
+// SubRow returns the communicator of this node's row of a 2-D
+// communicator layout — the groups the paper's own hybrids are built from.
+func (c *Comm) SubRow() (*Comm, error) {
+	cols, _, err := c.meshExtents()
+	if err != nil {
+		return nil, err
+	}
+	row := c.me / cols
+	return c.Sub(group.Arithmetic(row*cols, 1, cols))
+}
+
+// SubColumn returns the communicator of this node's column of a 2-D
+// communicator layout.
+func (c *Comm) SubColumn() (*Comm, error) {
+	cols, rows, err := c.meshExtents()
+	if err != nil {
+		return nil, err
+	}
+	col := c.me % cols
+	return c.Sub(group.Arithmetic(col, cols, rows))
+}
+
+func (c *Comm) meshExtents() (cols, rows int, err error) {
+	if len(c.layout.Extents) != 2 {
+		return 0, 0, fmt.Errorf("icc: communicator is not a 2-D mesh (%v)", c.layout)
+	}
+	return c.layout.Extents[0], c.layout.Extents[1], nil
+}

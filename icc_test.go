@@ -1,0 +1,385 @@
+package icc_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	icc "repro"
+	"repro/internal/datatype"
+	"repro/internal/model"
+	"repro/internal/transport"
+)
+
+// TestPublicBcast: broadcast across algorithm policies through the public
+// API.
+func TestPublicBcast(t *testing.T) {
+	for _, alg := range []icc.Alg{icc.AlgAuto, icc.AlgShort, icc.AlgLong} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			const p, count = 6, 1000
+			want := make([]byte, count)
+			for i := range want {
+				want[i] = byte(i * 3)
+			}
+			w := icc.NewChannelWorld(p, icc.WithAlg(alg))
+			err := w.Run(func(c *icc.Comm) error {
+				buf := make([]byte, count)
+				if c.Rank() == 2 {
+					copy(buf, want)
+				}
+				if err := c.Bcast(buf, count, icc.Uint8, 2); err != nil {
+					return err
+				}
+				if !bytes.Equal(buf, want) {
+					return icc.Errorf(c, "wrong payload")
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPublicReduceFamily: Reduce, AllReduce, ReduceScatter agree with a
+// serial reference through the public API.
+func TestPublicReduceFamily(t *testing.T) {
+	const p, count = 5, 12
+	want := make([]int64, count)
+	for r := 0; r < p; r++ {
+		for i := range want {
+			want[i] += int64(r*10 + i)
+		}
+	}
+	w := icc.NewChannelWorld(p)
+	err := w.Run(func(c *icc.Comm) error {
+		in := make([]int64, count)
+		for i := range in {
+			in[i] = int64(c.Rank()*10 + i)
+		}
+		send := make([]byte, count*8)
+		datatype.PutInt64s(send, in)
+
+		recv := make([]byte, count*8)
+		if err := c.Reduce(send, recv, count, icc.Int64, icc.Sum, 1); err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			got := datatype.Int64s(recv)
+			for i := range want {
+				if got[i] != want[i] {
+					return icc.Errorf(c, "reduce elem %d = %d, want %d", i, got[i], want[i])
+				}
+			}
+		}
+
+		if err := c.AllReduce(send, recv, count, icc.Int64, icc.Sum); err != nil {
+			return err
+		}
+		got := datatype.Int64s(recv)
+		for i := range want {
+			if got[i] != want[i] {
+				return icc.Errorf(c, "allreduce elem %d = %d, want %d", i, got[i], want[i])
+			}
+		}
+
+		counts := []int{3, 2, 4, 1, 2}
+		offs := make([]int, p+1)
+		for i, n := range counts {
+			offs[i+1] = offs[i] + n
+		}
+		seg := make([]byte, counts[c.Rank()]*8)
+		if err := c.ReduceScatter(send, counts, seg, icc.Int64, icc.Sum); err != nil {
+			return err
+		}
+		gotSeg := datatype.Int64s(seg)
+		for i := range gotSeg {
+			if gotSeg[i] != want[offs[c.Rank()]+i] {
+				return icc.Errorf(c, "reduce-scatter elem %d = %d, want %d", i, gotSeg[i], want[offs[c.Rank()]+i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicScatterGatherCollect: data movement round trips.
+func TestPublicScatterGatherCollect(t *testing.T) {
+	const p = 7
+	counts := []int{2, 0, 3, 1, 4, 2, 2}
+	offs := make([]int, p+1)
+	for i, n := range counts {
+		offs[i+1] = offs[i] + n
+	}
+	total := offs[p]
+	full := make([]byte, total)
+	for i := range full {
+		full[i] = byte(i + 1)
+	}
+	w := icc.NewChannelWorld(p)
+	err := w.Run(func(c *icc.Comm) error {
+		me := c.Rank()
+		seg := make([]byte, counts[me])
+		if err := c.Scatterv(full, counts, seg, icc.Uint8, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(seg, full[offs[me]:offs[me+1]]) {
+			return icc.Errorf(c, "scatterv wrong segment")
+		}
+		back := make([]byte, total)
+		if err := c.Gatherv(seg, counts, back, icc.Uint8, p-1); err != nil {
+			return err
+		}
+		if me == p-1 && !bytes.Equal(back, full) {
+			return icc.Errorf(c, "gatherv: scatter∘gather is not identity")
+		}
+		all := make([]byte, total)
+		if err := c.Collectv(seg, counts, all, icc.Uint8); err != nil {
+			return err
+		}
+		if !bytes.Equal(all, full) {
+			return icc.Errorf(c, "collectv wrong assembly")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicGroups: row/column sub-communicators on a logical mesh — the
+// §9 use case — with concurrent row collectives.
+func TestPublicGroups(t *testing.T) {
+	const rows, cols = 3, 4
+	w := icc.NewChannelWorld(rows*cols, icc.WithMesh(rows, cols))
+	err := w.Run(func(c *icc.Comm) error {
+		row, err := c.SubRow()
+		if err != nil {
+			return err
+		}
+		if row == nil || row.Size() != cols {
+			return icc.Errorf(c, "row comm size %v", row)
+		}
+		// Row broadcast from the row leader.
+		buf := make([]byte, 64)
+		if row.Rank() == 0 {
+			for i := range buf {
+				buf[i] = byte(c.Rank()) // leader's world rank marks the row
+			}
+		}
+		if err := row.Bcast(buf, 64, icc.Uint8, 0); err != nil {
+			return err
+		}
+		wantMark := byte(c.Rank() / cols * cols)
+		for _, b := range buf {
+			if b != wantMark {
+				return icc.Errorf(c, "row bcast mark %d, want %d", b, wantMark)
+			}
+		}
+		// Column all-reduce.
+		col, err := c.SubColumn()
+		if err != nil {
+			return err
+		}
+		if col.Size() != rows {
+			return icc.Errorf(c, "column comm size %d", col.Size())
+		}
+		send := make([]byte, 8)
+		recv := make([]byte, 8)
+		datatype.PutInt64s(send, []int64{int64(c.Rank())})
+		if err := col.AllReduce(send, recv, 1, icc.Int64, icc.Sum); err != nil {
+			return err
+		}
+		var want int64
+		for r := 0; r < rows; r++ {
+			want += int64(r*cols + c.Rank()%cols)
+		}
+		if got := datatype.Int64s(recv)[0]; got != want {
+			return icc.Errorf(c, "column sum = %d, want %d", got, want)
+		}
+		// Arbitrary (unstructured) subgroup.
+		members := []int{1, 5, 10, 2}
+		sub, err := c.Sub(members)
+		if err != nil {
+			return err
+		}
+		inGroup := false
+		for _, m := range members {
+			if m == c.Rank() {
+				inGroup = true
+			}
+		}
+		if inGroup != (sub != nil) {
+			return icc.Errorf(c, "membership mismatch")
+		}
+		if sub != nil {
+			b := make([]byte, 10)
+			if sub.Rank() == 0 {
+				for i := range b {
+					b[i] = 77
+				}
+			}
+			if err := sub.Bcast(b, 10, icc.Uint8, 0); err != nil {
+				return err
+			}
+			if b[0] != 77 {
+				return icc.Errorf(c, "unstructured group bcast failed")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicBarrier: a barrier completes and orders nothing incorrectly.
+func TestPublicBarrier(t *testing.T) {
+	w := icc.NewChannelWorld(9)
+	if err := w.Run(func(c *icc.Comm) error { return c.Barrier() }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicSimulateMesh: the facade's simulation path carries data
+// correctly and reports sensible virtual times.
+func TestPublicSimulateMesh(t *testing.T) {
+	m := icc.Machine{Alpha: 10e-6, Beta: 1e-8, Gamma: 1e-9, LinkExcess: 2}
+	res, err := icc.SimulateMesh(4, 4, m, true, func(c *icc.Comm) error {
+		buf := make([]byte, 256)
+		if c.Rank() == 0 {
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+		}
+		if err := c.Bcast(buf, 256, icc.Uint8, 0); err != nil {
+			return err
+		}
+		for i := range buf {
+			if buf[i] != byte(i) {
+				return icc.Errorf(c, "corrupt simulated payload at %d", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= 0 || res.Messages == 0 {
+		t.Errorf("implausible sim result %+v", res)
+	}
+}
+
+// TestPublicExplicitShape: AlgShape forces the exact Table 2 hybrid.
+func TestPublicExplicitShape(t *testing.T) {
+	s := icc.Shape{Dims: []model.Dim{
+		{Size: 5, Stride: 1, Conflict: 1},
+		{Size: 6, Stride: 5, Conflict: 5},
+	}, ShortFrom: 2}
+	w := icc.NewChannelWorld(30, icc.WithAlg(icc.AlgShape(s)))
+	err := w.Run(func(c *icc.Comm) error {
+		buf := make([]byte, 300)
+		if c.Rank() == 0 {
+			for i := range buf {
+				buf[i] = byte(i % 251)
+			}
+		}
+		if err := c.Bcast(buf, 300, icc.Uint8, 0); err != nil {
+			return err
+		}
+		for i := range buf {
+			if buf[i] != byte(i%251) {
+				return icc.Errorf(c, "corrupt at %d", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicValidation: facade-level misuse is rejected with errors, not
+// panics or hangs.
+func TestPublicValidation(t *testing.T) {
+	w := icc.NewChannelWorld(3)
+	err := w.Run(func(c *icc.Comm) error {
+		if err := c.Bcast(make([]byte, 2), 4, icc.Uint8, 0); err == nil {
+			return fmt.Errorf("short bcast buffer accepted")
+		}
+		if err := c.Scatterv(nil, []int{1, 1}, nil, icc.Uint8, 0); err == nil {
+			return fmt.Errorf("wrong counts length accepted")
+		}
+		if _, err := c.Sub([]int{0, 0, 1}); err == nil {
+			return fmt.Errorf("duplicate members accepted")
+		}
+		if _, err := c.Sub([]int{7}); err == nil {
+			return fmt.Errorf("out-of-range member accepted")
+		}
+		if _, err := c.SubRow(); err == nil {
+			return fmt.Errorf("SubRow on linear layout accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := icc.New(failEP{}, icc.WithMesh(2, 3)); err == nil {
+		t.Errorf("mismatched mesh layout accepted")
+	}
+}
+
+// failEP is a 4-rank endpoint stub for constructor validation.
+type failEP struct{}
+
+func (failEP) Rank() int { return 0 }
+func (failEP) Size() int { return 4 }
+func (failEP) Send(int, transport.Tag, []byte) error {
+	return nil
+}
+func (failEP) Recv(int, transport.Tag, []byte) (int, error) { return 0, nil }
+func (failEP) SendRecv(int, transport.Tag, []byte, int, transport.Tag, []byte) (int, error) {
+	return 0, nil
+}
+func (failEP) Close() error { return nil }
+
+// TestSubgroupStructureDetection: rows and rectangles of a mesh are
+// detected, arbitrary sets are planned as linear arrays.
+func TestSubgroupStructureDetection(t *testing.T) {
+	w := icc.NewChannelWorld(12, icc.WithMesh(3, 4))
+	err := w.Run(func(c *icc.Comm) error {
+		row, err := c.SubRow()
+		if err != nil {
+			return err
+		}
+		if got := row.Layout(); len(got.Extents) != 1 || got.Extents[0] != 4 {
+			return icc.Errorf(c, "row layout %v", got)
+		}
+		rect, err := c.Sub([]int{1, 2, 5, 6, 9, 10}) // 3x2 sub-mesh
+		if err != nil {
+			return err
+		}
+		if rect != nil {
+			if got := rect.Layout(); len(got.Extents) != 2 {
+				return icc.Errorf(c, "sub-mesh layout %v", got)
+			}
+		}
+		scattered, err := c.Sub([]int{0, 5, 7, 11})
+		if err != nil {
+			return err
+		}
+		if scattered != nil {
+			if got := scattered.Layout(); len(got.Extents) != 1 || got.Extents[0] != 4 {
+				return icc.Errorf(c, "unstructured layout %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

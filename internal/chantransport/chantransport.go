@@ -1,0 +1,193 @@
+// Package chantransport implements the transport.Endpoint interface over Go
+// channels: p ranks inside one process, one buffered channel per ordered
+// (sender, receiver) pair. It is the reference functional substrate — fast,
+// deterministic in matching (FIFO per pair), and with optional receive
+// timeouts so that a deadlocked collective fails a test instead of hanging
+// it.
+package chantransport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+)
+
+type message struct {
+	tag  transport.Tag
+	data []byte // owned by the message; copied on send
+}
+
+// World is a set of size ranks wired pairwise with buffered channels.
+type World struct {
+	size    int
+	queue   [][]chan message // queue[src][dst]
+	timeout time.Duration
+}
+
+// Option configures a World.
+type Option func(*config)
+
+type config struct {
+	buffer  int
+	timeout time.Duration
+}
+
+// WithBuffer sets the per-pair channel buffer depth (default 64). A depth
+// of at least one is required so that a full ring of SendRecv calls cannot
+// deadlock.
+func WithBuffer(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.buffer = n
+		}
+	}
+}
+
+// WithRecvTimeout makes receives fail after d instead of blocking forever.
+// Tests use it to convert collective deadlocks into errors.
+func WithRecvTimeout(d time.Duration) Option {
+	return func(c *config) { c.timeout = d }
+}
+
+// NewWorld creates a world of size ranks.
+func NewWorld(size int, opts ...Option) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("chantransport: world size %d", size))
+	}
+	cfg := config{buffer: 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	w := &World{size: size, timeout: cfg.timeout}
+	w.queue = make([][]chan message, size)
+	for s := range w.queue {
+		w.queue[s] = make([]chan message, size)
+		for d := range w.queue[s] {
+			w.queue[s][d] = make(chan message, cfg.buffer)
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Endpoint returns the endpoint for the given rank. Each rank's endpoint
+// must be used by a single goroutine at a time, matching the SPMD model.
+func (w *World) Endpoint(rank int) *Endpoint {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("chantransport: rank %d outside world of %d", rank, w.size))
+	}
+	return &Endpoint{world: w, rank: rank}
+}
+
+// Run spawns one goroutine per rank executing fn and waits for all of them.
+// It returns the first non-nil error by rank order, which is how SPMD test
+// drivers surface a failure on any node.
+func (w *World) Run(fn func(ep *Endpoint) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(w.Endpoint(r))
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// Endpoint is one rank's handle on a World. It implements transport.Endpoint.
+type Endpoint struct {
+	world  *World
+	rank   int
+	closed atomic.Bool
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+// Rank returns this endpoint's rank.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// Size returns the world size.
+func (e *Endpoint) Size() int { return e.world.size }
+
+// Send copies p and enqueues it for rank to. It blocks only if the pair's
+// channel buffer is full.
+func (e *Endpoint) Send(to int, tag transport.Tag, p []byte) error {
+	if e.closed.Load() {
+		return transport.ErrClosed
+	}
+	if err := transport.CheckPeer(e.rank, e.world.size, to); err != nil {
+		return err
+	}
+	data := make([]byte, len(p))
+	copy(data, p)
+	e.world.queue[e.rank][to] <- message{tag: tag, data: data}
+	return nil
+}
+
+// Recv dequeues the next message from rank from, verifies its tag and
+// length, and copies it into p.
+func (e *Endpoint) Recv(from int, tag transport.Tag, p []byte) (int, error) {
+	if e.closed.Load() {
+		return 0, transport.ErrClosed
+	}
+	if err := transport.CheckPeer(e.rank, e.world.size, from); err != nil {
+		return 0, err
+	}
+	var m message
+	ch := e.world.queue[from][e.rank]
+	if e.world.timeout > 0 {
+		t := time.NewTimer(e.world.timeout)
+		defer t.Stop()
+		select {
+		case m = <-ch:
+		case <-t.C:
+			return 0, fmt.Errorf("chantransport: rank %d: receive from %d tag %#x timed out after %v (likely collective deadlock)",
+				e.rank, from, tag, e.world.timeout)
+		}
+	} else {
+		m = <-ch
+	}
+	if m.tag != tag {
+		return 0, fmt.Errorf("%w: rank %d expected tag %#x from %d, got %#x",
+			transport.ErrTagMismatch, e.rank, tag, from, m.tag)
+	}
+	if len(m.data) > len(p) {
+		return 0, fmt.Errorf("%w: rank %d from %d: message %d bytes, buffer %d",
+			transport.ErrTruncate, e.rank, from, len(m.data), len(p))
+	}
+	copy(p, m.data)
+	return len(m.data), nil
+}
+
+// SendRecv runs the send in a separate goroutine while receiving inline, so
+// a full ring of simultaneous exchanges cannot deadlock regardless of
+// buffer depth.
+func (e *Endpoint) SendRecv(to int, stag transport.Tag, sp []byte, from int, rtag transport.Tag, rp []byte) (int, error) {
+	sendErr := make(chan error, 1)
+	go func() { sendErr <- e.Send(to, stag, sp) }()
+	n, rerr := e.Recv(from, rtag, rp)
+	serr := <-sendErr
+	if rerr != nil {
+		return n, rerr
+	}
+	return n, serr
+}
+
+// Close marks the endpoint closed. Messages already queued to other ranks
+// remain deliverable.
+func (e *Endpoint) Close() error {
+	e.closed.Store(true)
+	return nil
+}

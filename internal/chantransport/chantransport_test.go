@@ -1,0 +1,179 @@
+package chantransport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestBasicSendRecv: payload integrity and length reporting.
+func TestBasicSendRecv(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(ep *Endpoint) error {
+		if ep.Rank() == 0 {
+			return ep.Send(1, 9, []byte{1, 2, 3})
+		}
+		buf := make([]byte, 8)
+		n, err := ep.Recv(0, 9, buf)
+		if err != nil {
+			return err
+		}
+		if n != 3 || !bytes.Equal(buf[:3], []byte{1, 2, 3}) {
+			return fmt.Errorf("got n=%d buf=%v", n, buf[:n])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSendCopiesBuffer: the sender may reuse its buffer immediately.
+func TestSendCopiesBuffer(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(ep *Endpoint) error {
+		if ep.Rank() == 0 {
+			buf := []byte{42}
+			if err := ep.Send(1, 1, buf); err != nil {
+				return err
+			}
+			buf[0] = 99 // must not affect the in-flight message
+			return ep.Send(1, 2, buf)
+		}
+		buf := make([]byte, 1)
+		if _, err := ep.Recv(0, 1, buf); err != nil {
+			return err
+		}
+		if buf[0] != 42 {
+			return fmt.Errorf("first message mutated: %d", buf[0])
+		}
+		_, err := ep.Recv(0, 2, buf)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFIFO: per-pair order is preserved under load.
+func TestFIFO(t *testing.T) {
+	const k = 500
+	w := NewWorld(2, WithBuffer(8))
+	err := w.Run(func(ep *Endpoint) error {
+		if ep.Rank() == 0 {
+			for i := 0; i < k; i++ {
+				if err := ep.Send(1, transport.Tag(i%7), []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		buf := make([]byte, 1)
+		for i := 0; i < k; i++ {
+			if _, err := ep.Recv(0, transport.Tag(i%7), buf); err != nil {
+				return err
+			}
+			if buf[0] != byte(i) {
+				return fmt.Errorf("out of order at %d: %d", i, buf[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestErrors: tag mismatch, truncation, rank bounds, closed endpoint.
+func TestErrors(t *testing.T) {
+	w := NewWorld(2)
+	ep0 := w.Endpoint(0)
+	ep1 := w.Endpoint(1)
+	if err := ep0.Send(1, 5, []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ep1.Recv(0, 6, make([]byte, 2)); !errors.Is(err, transport.ErrTagMismatch) {
+		t.Errorf("want tag mismatch, got %v", err)
+	}
+	if err := ep0.Send(1, 5, []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ep1.Recv(0, 5, make([]byte, 1)); !errors.Is(err, transport.ErrTruncate) {
+		t.Errorf("want truncate, got %v", err)
+	}
+	if err := ep0.Send(7, 1, nil); !errors.Is(err, transport.ErrRank) {
+		t.Errorf("want rank error, got %v", err)
+	}
+	ep0.Close()
+	if err := ep0.Send(1, 1, nil); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("want closed, got %v", err)
+	}
+	if _, err := ep0.Recv(1, 1, nil); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("want closed, got %v", err)
+	}
+}
+
+// TestRecvTimeout: deadlocks become errors.
+func TestRecvTimeout(t *testing.T) {
+	w := NewWorld(2, WithRecvTimeout(20*time.Millisecond))
+	ep := w.Endpoint(0)
+	start := time.Now()
+	if _, err := ep.Recv(1, 1, nil); err == nil {
+		t.Fatal("timeout did not fire")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout took too long")
+	}
+}
+
+// TestRingSendRecvNoDeadlock: a simultaneous ring exchange completes for
+// odd and even sizes.
+func TestRingSendRecvNoDeadlock(t *testing.T) {
+	for _, p := range []int{2, 3, 8, 9} {
+		p := p
+		w := NewWorld(p)
+		err := w.Run(func(ep *Endpoint) error {
+			me := ep.Rank()
+			sb := []byte{byte(me)}
+			rb := make([]byte, 1)
+			if _, err := ep.SendRecv((me+1)%p, 3, sb, (me+p-1)%p, 3, rb); err != nil {
+				return err
+			}
+			if rb[0] != byte((me+p-1)%p) {
+				return fmt.Errorf("got %d", rb[0])
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+// TestRunPropagatesFirstError: the lowest-rank failure is reported.
+func TestRunPropagatesFirstError(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(ep *Endpoint) error {
+		if ep.Rank() >= 1 {
+			return fmt.Errorf("boom %d", ep.Rank())
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "rank 1: boom 1" {
+		t.Errorf("got %v", err)
+	}
+}
+
+// TestWorldPanics: invalid construction panics loudly.
+func TestWorldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for size 0")
+		}
+	}()
+	NewWorld(0)
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chantransport"
+	"repro/internal/datatype"
+	"repro/internal/group"
+	"repro/internal/model"
+	"repro/internal/transport"
+)
+
+// Failure injection: a transport whose sends start failing after a budget
+// is exhausted. Collectives must propagate the error (possibly as a
+// timeout on peers whose counterparts died) rather than corrupt data or
+// hang forever.
+
+type flakyEndpoint struct {
+	*chantransport.Endpoint
+	budget *atomic.Int64
+}
+
+var errInjected = errors.New("injected transport failure")
+
+func (f *flakyEndpoint) Send(to int, tag transport.Tag, p []byte) error {
+	if f.budget.Add(-1) < 0 {
+		return fmt.Errorf("%w (rank %d → %d)", errInjected, f.Rank(), to)
+	}
+	return f.Endpoint.Send(to, tag, p)
+}
+
+func (f *flakyEndpoint) SendRecv(to int, stag transport.Tag, sp []byte, from int, rtag transport.Tag, rp []byte) (int, error) {
+	if f.budget.Add(-1) < 0 {
+		return 0, fmt.Errorf("%w (rank %d ↔ %d)", errInjected, f.Rank(), to)
+	}
+	return f.Endpoint.SendRecv(to, stag, sp, from, rtag, rp)
+}
+
+// TestSendFailurePropagates: for every failure point in a broadcast and an
+// all-reduce, some rank observes an error and no rank hangs (receives time
+// out) or silently succeeds with corrupt data.
+func TestSendFailurePropagates(t *testing.T) {
+	const p, count = 6, 32
+	shapes := []model.Shape{
+		model.MSTShape(group.Linear(p)),
+		model.BucketShape(group.Linear(p)),
+	}
+	for _, s := range shapes {
+		for budget := int64(0); budget < 10; budget += 3 {
+			s, budget := s, budget
+			t.Run(fmt.Sprintf("%v/budget%d", s, budget), func(t *testing.T) {
+				w := chantransport.NewWorld(p, chantransport.WithRecvTimeout(300*time.Millisecond))
+				shared := &atomic.Int64{}
+				shared.Store(budget)
+				errs := make(chan error, p)
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					_ = w.Run(func(ep *chantransport.Endpoint) error {
+						f := &flakyEndpoint{Endpoint: ep, budget: shared}
+						c := Ctx{EP: f, Members: group.Identity(p), Me: ep.Rank(), Coll: 1}
+						buf := make([]byte, count)
+						tmp := make([]byte, count)
+						err := AllReduce(c, s, buf, tmp, count, datatype.Uint8, datatype.Sum)
+						errs <- err
+						return nil
+					})
+				}()
+				select {
+				case <-done:
+				case <-time.After(20 * time.Second):
+					t.Fatal("collective hung despite receive timeouts")
+				}
+				close(errs)
+				sawError := false
+				for err := range errs {
+					if err != nil {
+						sawError = true
+					}
+				}
+				if !sawError {
+					t.Fatal("all ranks succeeded despite injected failures")
+				}
+			})
+		}
+	}
+}
+
+// TestZeroBudgetEverythingFails: with no send budget at all, every rank
+// that must communicate reports an error.
+func TestZeroBudgetEverythingFails(t *testing.T) {
+	const p = 4
+	w := chantransport.NewWorld(p, chantransport.WithRecvTimeout(200*time.Millisecond))
+	shared := &atomic.Int64{}
+	s := model.MSTShape(group.Linear(p))
+	err := w.Run(func(ep *chantransport.Endpoint) error {
+		f := &flakyEndpoint{Endpoint: ep, budget: shared}
+		c := Ctx{EP: f, Members: group.Identity(p), Me: ep.Rank(), Coll: 1}
+		if err := Bcast(c, s, 0, make([]byte, 8), 8, 1); err == nil {
+			return fmt.Errorf("rank %d broadcast succeeded with zero budget", ep.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

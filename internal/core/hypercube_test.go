@@ -1,0 +1,302 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/datatype"
+	"repro/internal/group"
+	"repro/internal/model"
+	"repro/internal/simnet"
+)
+
+// TestEDSTBcastCorrect: the edge-disjoint spanning tree broadcast delivers
+// the root's bytes for every power-of-two size, every root, and lengths
+// that do not divide by d.
+func TestEDSTBcastCorrect(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 16, 32} {
+		for _, root := range []int{0, p - 1, p / 3} {
+			for _, count := range []int{0, 1, 7, 64, 129} {
+				p, root, count := p, root, count
+				t.Run(fmt.Sprintf("p%d/root%d/n%d", p, root, count), func(t *testing.T) {
+					want := make([]byte, count)
+					fill(want, root)
+					runWorld(t, p, func(c Ctx) error {
+						buf := make([]byte, count)
+						if c.Me == root {
+							copy(buf, want)
+						}
+						if err := EDSTBcast(c, root, buf, count, 1); err != nil {
+							return err
+						}
+						if !bytes.Equal(buf, want) {
+							return fmt.Errorf("rank %d: wrong payload", c.Me)
+						}
+						return nil
+					})
+				})
+			}
+		}
+	}
+}
+
+// TestEDSTRejectsNonPowerOfTwo: §11's hypercube algorithms are guarded.
+func TestEDSTRejectsNonPowerOfTwo(t *testing.T) {
+	runWorld(t, 6, func(c Ctx) error {
+		if err := EDSTBcast(c, 0, make([]byte, 4), 4, 1); err == nil {
+			return fmt.Errorf("p=6 accepted")
+		}
+		if err := RDCollect(c, make([]byte, 6), equalCounts(6, 6), 1); err == nil {
+			return fmt.Errorf("RD p=6 accepted")
+		}
+		return nil
+	})
+}
+
+// TestEDSTEdgeDisjoint verifies the construction's central invariant: the
+// d spanning trees use pairwise disjoint directed cube edges.
+func TestEDSTEdgeDisjoint(t *testing.T) {
+	for _, d := range []int{2, 3, 4, 5, 6} {
+		p := 1 << d
+		pos := func(t, j int) int { return (j - t + d) % d }
+		used := map[[2]int]int{} // directed edge → tree
+		addEdge := func(from, to, tree int) {
+			key := [2]int{from, to}
+			if prev, ok := used[key]; ok && prev != tree {
+				t.Fatalf("d=%d: edge %d→%d used by trees %d and %d", d, from, to, prev, tree)
+			}
+			used[key] = tree
+		}
+		covered := make([]map[int]bool, p) // node → trees that reach it
+		for i := range covered {
+			covered[i] = map[int]bool{}
+		}
+		for tree := 0; tree < d; tree++ {
+			addEdge(0, 1<<tree, tree)
+			covered[1<<tree][tree] = true
+			for a := 1; a < p; a++ {
+				if a&(1<<tree) == 0 {
+					// Clear half: flipped from a|2^t.
+					addEdge(a|1<<tree, a, tree)
+					covered[a][tree] = true
+					continue
+				}
+				if a == 1<<tree {
+					continue
+				}
+				// Set half: doubling edge from parent.
+				h := 0
+				for j := 0; j < d; j++ {
+					if a&(1<<j) != 0 && pos(tree, j) > h {
+						h = pos(tree, j)
+					}
+				}
+				parent := a ^ (1 << ((tree + h) % d))
+				addEdge(parent, a, tree)
+				covered[a][tree] = true
+			}
+		}
+		for a := 1; a < p; a++ {
+			if len(covered[a]) != d {
+				t.Errorf("d=%d: node %d reached by %d trees, want %d", d, a, len(covered[a]), d)
+			}
+		}
+	}
+}
+
+// TestRDCollectAndRHReduceScatter: correctness against references on
+// ragged counts.
+func TestRDCollectAndRHReduceScatter(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		p := p
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			counts := make([]int, p)
+			for i := range counts {
+				counts[i] = 1 + (i*5)%4
+			}
+			offs := prefixOffsets(counts)
+			total := offs[p]
+
+			// RDCollect assembles everyone's segment everywhere.
+			want := make([]byte, total)
+			for r := 0; r < p; r++ {
+				fill(want[offs[r]:offs[r+1]], r)
+			}
+			runWorld(t, p, func(c Ctx) error {
+				buf := make([]byte, total)
+				fill(buf[offs[c.Me]:offs[c.Me+1]], c.Me)
+				if err := RDCollect(c, buf, counts, 1); err != nil {
+					return err
+				}
+				if !bytes.Equal(buf, want) {
+					return fmt.Errorf("rank %d: wrong assembly", c.Me)
+				}
+				return nil
+			})
+
+			// RHReduceScatter leaves combined segments (int32 elements).
+			wantSum := make([]int32, total)
+			for r := 0; r < p; r++ {
+				for i := range wantSum {
+					wantSum[i] += int32(r*3 + i)
+				}
+			}
+			runWorld(t, p, func(c Ctx) error {
+				in := make([]int32, total)
+				for i := range in {
+					in[i] = int32(c.Me*3 + i)
+				}
+				buf := make([]byte, total*4)
+				tmp := make([]byte, total*4)
+				datatype.PutInt32s(buf, in)
+				if err := RHReduceScatter(c, buf, tmp, counts, datatype.Int32, datatype.Sum); err != nil {
+					return err
+				}
+				got := datatype.Int32s(buf[offs[c.Me]*4 : offs[c.Me+1]*4])
+				for i, w := range wantSum[offs[c.Me]:offs[c.Me+1]] {
+					if got[i] != w {
+						return fmt.Errorf("rank %d: elem %d = %d, want %d", c.Me, i, got[i], w)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestHypercubeAllReduce: RH+RD equals the serial sum.
+func TestHypercubeAllReduce(t *testing.T) {
+	const p, count = 8, 21
+	want := make([]int64, count)
+	for r := 0; r < p; r++ {
+		for i := range want {
+			want[i] += int64(r ^ i)
+		}
+	}
+	runWorld(t, p, func(c Ctx) error {
+		in := make([]int64, count)
+		for i := range in {
+			in[i] = int64(c.Me ^ i)
+		}
+		buf := make([]byte, count*8)
+		tmp := make([]byte, count*8)
+		datatype.PutInt64s(buf, in)
+		if err := HypercubeAllReduce(c, buf, tmp, count, datatype.Int64, datatype.Sum); err != nil {
+			return err
+		}
+		got := datatype.Int64s(buf)
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("rank %d: elem %d = %d, want %d", c.Me, i, got[i], want[i])
+			}
+		}
+		return nil
+	})
+}
+
+// cubeT runs a body on a native simulated hypercube.
+func cubeT(t *testing.T, p int, m model.Machine, fn func(c Ctx) error) float64 {
+	t.Helper()
+	res, err := simnet.Run(simnet.Config{Rows: 1, Cols: p, Hypercube: true, Machine: m},
+		func(ep *simnet.Endpoint) error {
+			c := NewCtx(ep, 1)
+			mach := ep.Machine()
+			c.Machine = &mach
+			return fn(c)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Time
+}
+
+// TestRDCollectNativeTiming: on its native interconnect the
+// recursive-doubling collect matches dα + ((p-1)/p)nβ exactly — every step
+// uses disjoint cube edges.
+func TestRDCollectNativeTiming(t *testing.T) {
+	m := plainMachine()
+	for _, p := range []int{2, 4, 8, 16} {
+		n := 16 * p
+		counts := equalCounts(n, p)
+		got := cubeT(t, p, m, func(c Ctx) error {
+			return RDCollect(c, nil, counts, 1)
+		})
+		want := RDCollectCost(m, p, n)
+		if math.Abs(got-want) > 1e-9*want {
+			t.Errorf("RD collect p=%d: sim %.6g, model %.6g", p, got, want)
+		}
+	}
+}
+
+// TestHypercubeLongVectorBroadcast captures both halves of §8's judgment
+// about "theoretically superior" long-vector broadcasts on hypercubes:
+//
+//  1. The theory is real: a pipelined broadcast over a Gray-code
+//     Hamiltonian ring (conflict-free on the native cube) approaches nβ
+//     and beats the scatter/collect broadcast's 2nβ by well over 1.5× for
+//     long vectors.
+//  2. The practice is hard: our direct implementation of the Ho–Johnsson
+//     edge-disjoint tree *structure* — correct, with provably disjoint
+//     trees, but without the paper-[7] block-rotation schedule — fails to
+//     beat scatter/collect, exactly the "generally difficult to
+//     implement" trap §8 describes.
+func TestHypercubeLongVectorBroadcast(t *testing.T) {
+	m := model.ParagonLike()
+	const p = 32
+	long := 16 << 20
+	sc := model.BucketShape(group.Linear(p))
+	scLong := cubeT(t, p, m, func(c Ctx) error {
+		return Bcast(c, sc, 0, nil, long, 1)
+	})
+	blocks := OptimalBlocks(m, p, long)
+	gray := group.GrayRing(p)
+	pipeLong := cubeT(t, p, m, func(c Ctx) error {
+		g := c
+		g.Members = gray
+		g.Me = group.Index(gray, c.EP.Rank())
+		return PipelinedBcast(g, 0, nil, long, 1, blocks)
+	})
+	if ratio := scLong / pipeLong; ratio < 1.5 || ratio > 2.1 {
+		t.Errorf("16MB on native cube: scatter/collect %.4g / Gray-pipelined %.4g = %.2f, want in [1.5, 2.1]",
+			scLong, pipeLong, ratio)
+	}
+	edstLong := cubeT(t, p, m, func(c Ctx) error {
+		return EDSTBcast(c, 0, nil, long, 1)
+	})
+	if edstLong < scLong {
+		t.Logf("note: unpipelined EDST unexpectedly beat scatter/collect (%.4g vs %.4g)", edstLong, scLong)
+	}
+	// And at 8 bytes plain MST wins against both long-vector algorithms.
+	mst := model.MSTShape(group.Linear(p))
+	mstShort := cubeT(t, p, m, func(c Ctx) error {
+		return Bcast(c, mst, 0, nil, 8, 1)
+	})
+	edstShort := cubeT(t, p, m, func(c Ctx) error {
+		return EDSTBcast(c, 0, nil, 8, 1)
+	})
+	if mstShort >= edstShort {
+		t.Errorf("8B: MST %.4g should beat EDST %.4g", mstShort, edstShort)
+	}
+}
+
+// TestGrayRingIsHamiltonian: the Gray ordering steps across single cube
+// edges, including the wrap-around.
+func TestGrayRingIsHamiltonian(t *testing.T) {
+	for _, p := range []int{2, 4, 8, 16, 64} {
+		g := group.GrayRing(p)
+		seen := make(map[int]bool, p)
+		for i, v := range g {
+			if v < 0 || v >= p || seen[v] {
+				t.Fatalf("p=%d: bad permutation", p)
+			}
+			seen[v] = true
+			next := g[(i+1)%p]
+			diff := v ^ next
+			if diff == 0 || diff&(diff-1) != 0 {
+				t.Errorf("p=%d: %d→%d is not a cube edge", p, v, next)
+			}
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+)
+
+// Pipelined broadcast (§8, van de Geijn & Watts [15]). The group is viewed
+// as a ring starting at the root; the vector is cut into blocks that flow
+// down the ring, every interior node forwarding block b while receiving
+// block b+1. With K blocks the time is ≈ (p-2+K)(α + (n/K)β), which for
+// long vectors approaches nβ — twice as fast as the scatter/collect
+// broadcast's 2((p-1)/p)nβ.
+//
+// The paper's §8 explains why this algorithm is *not* the library default:
+// it is "more susceptible to timing irregularities resulting from the more
+// complex operating systems of current generation machines" — every block
+// hop sits on the critical path, so per-message jitter accumulates K+p
+// times. The ablation in internal/harness reproduces exactly that: with
+// latency noise injected, the simpler scatter/collect broadcast wins.
+
+// PipelinedBcast broadcasts count elements of size es from root through a
+// ring pipeline of blocks. blocks must be ≥ 1; use OptimalBlocks for the
+// model-optimal count. buf spans the whole vector on every node.
+func PipelinedBcast(c Ctx, root int, buf []byte, count, es, blocks int) error {
+	e := c.env()
+	if err := c.validate(); err != nil {
+		return err
+	}
+	if err := checkRoot(root, e.p()); err != nil {
+		return err
+	}
+	if err := checkBuf("pipelined broadcast", e.carry, buf, count*es); err != nil {
+		return err
+	}
+	if blocks < 1 {
+		return fmt.Errorf("core: pipelined broadcast with %d blocks", blocks)
+	}
+	p := e.p()
+	if p == 1 {
+		return nil
+	}
+	if blocks > count && count > 0 {
+		blocks = count
+	}
+	if count == 0 {
+		blocks = 1
+	}
+	// Ring position relative to the root.
+	q := (e.me - root + p) % p
+	succ := (e.me + 1) % p
+	pred := (e.me - 1 + p) % p
+
+	type blk struct{ off, n int }
+	bl := make([]blk, blocks)
+	for b := range bl {
+		lo, hi := splitPart(0, count, blocks, b)
+		bl[b] = blk{off: lo * es, n: (hi - lo) * es}
+	}
+	sl := func(b int) []byte {
+		if !e.carry {
+			return nil
+		}
+		return buf[bl[b].off : bl[b].off+bl[b].n]
+	}
+	const phase = 0
+	switch {
+	case q == 0: // root: stream all blocks to the successor
+		for b := 0; b < blocks; b++ {
+			if err := e.send(succ, e.tag(phase, b), sl(b), bl[b].n); err != nil {
+				return err
+			}
+		}
+	case q == p-1: // tail: sink all blocks
+		for b := 0; b < blocks; b++ {
+			if err := e.recv(pred, e.tag(phase, b), sl(b), bl[b].n); err != nil {
+				return err
+			}
+		}
+	default: // interior: forward block b-1 while receiving block b
+		if err := e.recv(pred, e.tag(phase, 0), sl(0), bl[0].n); err != nil {
+			return err
+		}
+		for b := 1; b < blocks; b++ {
+			if err := e.sendRecv(succ, e.tag(phase, b-1), sl(b-1), bl[b-1].n,
+				pred, e.tag(phase, b), sl(b), bl[b].n); err != nil {
+				return err
+			}
+		}
+		if err := e.send(succ, e.tag(phase, blocks-1), sl(blocks-1), bl[blocks-1].n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OptimalBlocks returns the block count minimizing the pipelined
+// broadcast's modelled time (p-2+K)(α + nβ/K): K* = √((p-2)nβ/α),
+// clamped to [1, 4096].
+func OptimalBlocks(m model.Machine, p, nBytes int) int {
+	if p < 3 || nBytes == 0 || m.Alpha <= 0 {
+		return 1
+	}
+	k := int(math.Round(math.Sqrt(float64(p-2) * float64(nBytes) * m.Beta / m.Alpha)))
+	if k < 1 {
+		return 1
+	}
+	if k > 4096 {
+		return 4096
+	}
+	return k
+}
+
+// PipelinedBcastCost is the model time of the pipelined broadcast with K
+// blocks: (p-2+K)(α + δ + (n/K)β).
+func PipelinedBcastCost(m model.Machine, p, nBytes, blocks int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	steps := float64(p - 2 + blocks)
+	return steps * (m.Alpha + m.StepOverhead + float64(nBytes)/float64(blocks)*m.Beta)
+}

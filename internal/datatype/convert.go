@@ -1,0 +1,74 @@
+package datatype
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// This file holds encode/decode helpers used by examples, tests and the
+// experiment harness to move between Go slices and the raw byte vectors the
+// collectives operate on. All encodings are little-endian, matching Apply.
+
+// PutFloat64s encodes xs into dst, which must be at least 8*len(xs) bytes.
+func PutFloat64s(dst []byte, xs []float64) {
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(x))
+	}
+}
+
+// Float64s decodes a float64 vector from src; len(src) must be a multiple of 8.
+func Float64s(src []byte) []float64 {
+	out := make([]float64, len(src)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	return out
+}
+
+// PutInt64s encodes xs into dst, which must be at least 8*len(xs) bytes.
+func PutInt64s(dst []byte, xs []int64) {
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(dst[8*i:], uint64(x))
+	}
+}
+
+// Int64s decodes an int64 vector from src; len(src) must be a multiple of 8.
+func Int64s(src []byte) []int64 {
+	out := make([]int64, len(src)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	return out
+}
+
+// PutInt32s encodes xs into dst, which must be at least 4*len(xs) bytes.
+func PutInt32s(dst []byte, xs []int32) {
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(dst[4*i:], uint32(x))
+	}
+}
+
+// Int32s decodes an int32 vector from src; len(src) must be a multiple of 4.
+func Int32s(src []byte) []int32 {
+	out := make([]int32, len(src)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+	return out
+}
+
+// PutFloat32s encodes xs into dst, which must be at least 4*len(xs) bytes.
+func PutFloat32s(dst []byte, xs []float32) {
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(x))
+	}
+}
+
+// Float32s decodes a float32 vector from src; len(src) must be a multiple of 4.
+func Float32s(src []byte) []float32 {
+	out := make([]float32, len(src)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+	return out
+}

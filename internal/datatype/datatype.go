@@ -1,0 +1,224 @@
+// Package datatype defines the element types and associative, commutative
+// combine operations (the paper's ⊕) that the collective library operates
+// on. Collectives move raw bytes; whenever a collective must combine two
+// contributions (combine-to-one, distributed combine, combine-to-all) it
+// interprets the buffers as a vector of one of these element types and
+// applies one of these operations elementwise, exactly as InterCom's global
+// combine operations interpreted NX message buffers.
+package datatype
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Type identifies the element type of a vector. The zero value is Uint8.
+type Type int
+
+// Supported element types.
+const (
+	Uint8 Type = iota
+	Int32
+	Int64
+	Float32
+	Float64
+)
+
+var typeInfo = [...]struct {
+	name string
+	size int
+}{
+	Uint8:   {"uint8", 1},
+	Int32:   {"int32", 4},
+	Int64:   {"int64", 8},
+	Float32: {"float32", 4},
+	Float64: {"float64", 8},
+}
+
+// Types lists every supported element type, in declaration order.
+// It is convenient for table-driven tests.
+func Types() []Type { return []Type{Uint8, Int32, Int64, Float32, Float64} }
+
+// Size returns the number of bytes occupied by one element.
+func (t Type) Size() int {
+	if !t.valid() {
+		return 0
+	}
+	return typeInfo[t].size
+}
+
+// String returns the conventional name of the type, e.g. "float64".
+func (t Type) String() string {
+	if !t.valid() {
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+	return typeInfo[t].name
+}
+
+func (t Type) valid() bool { return t >= Uint8 && t <= Float64 }
+
+// Count returns how many elements of type t fit in a buffer of the given
+// byte length, and reports whether the length is an exact multiple of the
+// element size.
+func (t Type) Count(bytes int) (n int, exact bool) {
+	s := t.Size()
+	if s == 0 {
+		return 0, false
+	}
+	return bytes / s, bytes%s == 0
+}
+
+// Op identifies an associative and commutative combine operation.
+// The zero value is Sum.
+type Op int
+
+// Supported combine operations. All are associative and commutative on
+// every supported Type (floating-point operations are treated as such,
+// matching the paper's assumption about ⊕).
+const (
+	Sum Op = iota
+	Prod
+	Max
+	Min
+)
+
+var opNames = [...]string{Sum: "sum", Prod: "prod", Max: "max", Min: "min"}
+
+// Ops lists every supported combine operation, in declaration order.
+func Ops() []Op { return []Op{Sum, Prod, Max, Min} }
+
+// String returns the conventional name of the operation, e.g. "sum".
+func (o Op) String() string {
+	if o < Sum || o > Min {
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// Apply combines src into dst elementwise: dst[i] = dst[i] ⊕ src[i].
+// The two buffers must have equal length, which must be a multiple of the
+// element size. dst and src must not overlap.
+func Apply(t Type, o Op, dst, src []byte) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("datatype: apply %s/%s: buffer lengths differ (%d vs %d)", t, o, len(dst), len(src))
+	}
+	if _, exact := t.Count(len(dst)); !exact {
+		return fmt.Errorf("datatype: apply %s/%s: length %d not a multiple of element size %d", t, o, len(dst), t.Size())
+	}
+	if o < Sum || o > Min {
+		return fmt.Errorf("datatype: apply: unknown op %d", int(o))
+	}
+	switch t {
+	case Uint8:
+		applyUint8(o, dst, src)
+	case Int32:
+		applyInt32(o, dst, src)
+	case Int64:
+		applyInt64(o, dst, src)
+	case Float32:
+		applyFloat32(o, dst, src)
+	case Float64:
+		applyFloat64(o, dst, src)
+	default:
+		return fmt.Errorf("datatype: apply: unknown type %d", int(t))
+	}
+	return nil
+}
+
+func applyUint8(o Op, dst, src []byte) {
+	switch o {
+	case Sum:
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	case Prod:
+		for i := range dst {
+			dst[i] *= src[i]
+		}
+	case Max:
+		for i := range dst {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	case Min:
+		for i := range dst {
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	}
+}
+
+func applyInt32(o Op, dst, src []byte) {
+	le := binary.LittleEndian
+	for i := 0; i < len(dst); i += 4 {
+		a := int32(le.Uint32(dst[i:]))
+		b := int32(le.Uint32(src[i:]))
+		le.PutUint32(dst[i:], uint32(combineInt64(o, int64(a), int64(b))))
+	}
+}
+
+func applyInt64(o Op, dst, src []byte) {
+	le := binary.LittleEndian
+	for i := 0; i < len(dst); i += 8 {
+		a := int64(le.Uint64(dst[i:]))
+		b := int64(le.Uint64(src[i:]))
+		le.PutUint64(dst[i:], uint64(combineInt64(o, a, b)))
+	}
+}
+
+func combineInt64(o Op, a, b int64) int64 {
+	switch o {
+	case Sum:
+		return a + b
+	case Prod:
+		return a * b
+	case Max:
+		if b > a {
+			return b
+		}
+	case Min:
+		if b < a {
+			return b
+		}
+	}
+	return a
+}
+
+func applyFloat32(o Op, dst, src []byte) {
+	le := binary.LittleEndian
+	for i := 0; i < len(dst); i += 4 {
+		a := math.Float32frombits(le.Uint32(dst[i:]))
+		b := math.Float32frombits(le.Uint32(src[i:]))
+		le.PutUint32(dst[i:], math.Float32bits(float32(combineFloat64(o, float64(a), float64(b)))))
+	}
+}
+
+func applyFloat64(o Op, dst, src []byte) {
+	le := binary.LittleEndian
+	for i := 0; i < len(dst); i += 8 {
+		a := math.Float64frombits(le.Uint64(dst[i:]))
+		b := math.Float64frombits(le.Uint64(src[i:]))
+		le.PutUint64(dst[i:], math.Float64bits(combineFloat64(o, a, b)))
+	}
+}
+
+func combineFloat64(o Op, a, b float64) float64 {
+	switch o {
+	case Sum:
+		return a + b
+	case Prod:
+		return a * b
+	case Max:
+		if b > a {
+			return b
+		}
+	case Min:
+		if b < a {
+			return b
+		}
+	}
+	return a
+}

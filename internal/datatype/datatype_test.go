@@ -1,0 +1,258 @@
+package datatype
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestSizes pins element sizes and names.
+func TestSizes(t *testing.T) {
+	cases := []struct {
+		t    Type
+		size int
+		name string
+	}{
+		{Uint8, 1, "uint8"}, {Int32, 4, "int32"}, {Int64, 8, "int64"},
+		{Float32, 4, "float32"}, {Float64, 8, "float64"},
+	}
+	for _, c := range cases {
+		if c.t.Size() != c.size || c.t.String() != c.name {
+			t.Errorf("%v: size %d name %q", c.t, c.t.Size(), c.t.String())
+		}
+	}
+	if Type(99).Size() != 0 {
+		t.Errorf("invalid type has nonzero size")
+	}
+	if got := Type(99).String(); got != "Type(99)" {
+		t.Errorf("invalid type name %q", got)
+	}
+	if got := Op(99).String(); got != "Op(99)" {
+		t.Errorf("invalid op name %q", got)
+	}
+}
+
+// TestCount checks element counting.
+func TestCount(t *testing.T) {
+	if n, ok := Float64.Count(24); n != 3 || !ok {
+		t.Errorf("Count(24) for float64 = %d,%v", n, ok)
+	}
+	if _, ok := Float64.Count(20); ok {
+		t.Errorf("20 bytes exact for float64")
+	}
+	if n, ok := Uint8.Count(7); n != 7 || !ok {
+		t.Errorf("Count(7) for uint8 = %d,%v", n, ok)
+	}
+}
+
+// TestApplyInt64 pins the four operations on int64.
+func TestApplyInt64(t *testing.T) {
+	mk := func(xs ...int64) []byte {
+		b := make([]byte, 8*len(xs))
+		PutInt64s(b, xs)
+		return b
+	}
+	cases := []struct {
+		op   Op
+		a, b []int64
+		want []int64
+	}{
+		{Sum, []int64{1, -2, 3}, []int64{10, 20, 30}, []int64{11, 18, 33}},
+		{Prod, []int64{2, -3, 0}, []int64{5, 7, 9}, []int64{10, -21, 0}},
+		{Max, []int64{1, 9, -5}, []int64{2, 3, -7}, []int64{2, 9, -5}},
+		{Min, []int64{1, 9, -5}, []int64{2, 3, -7}, []int64{1, 3, -7}},
+	}
+	for _, c := range cases {
+		dst := mk(c.a...)
+		if err := Apply(Int64, c.op, dst, mk(c.b...)); err != nil {
+			t.Fatal(err)
+		}
+		got := Int64s(dst)
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("%v: elem %d = %d, want %d", c.op, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// TestApplyErrors: misuse is rejected.
+func TestApplyErrors(t *testing.T) {
+	if err := Apply(Int64, Sum, make([]byte, 8), make([]byte, 16)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := Apply(Int64, Sum, make([]byte, 7), make([]byte, 7)); err == nil {
+		t.Error("ragged length accepted")
+	}
+	if err := Apply(Int64, Op(42), make([]byte, 8), make([]byte, 8)); err == nil {
+		t.Error("bad op accepted")
+	}
+	if err := Apply(Type(42), Sum, make([]byte, 8), make([]byte, 8)); err == nil {
+		t.Error("bad type accepted")
+	}
+}
+
+// TestRoundTrips: encode/decode helpers are inverses (property-based).
+func TestRoundTrips(t *testing.T) {
+	if err := quick.Check(func(xs []int64) bool {
+		b := make([]byte, 8*len(xs))
+		PutInt64s(b, xs)
+		got := Int64s(b)
+		for i := range xs {
+			if got[i] != xs[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(xs []float64) bool {
+		b := make([]byte, 8*len(xs))
+		PutFloat64s(b, xs)
+		got := Float64s(b)
+		for i := range xs {
+			if got[i] != xs[i] && !(math.IsNaN(got[i]) && math.IsNaN(xs[i])) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(xs []int32) bool {
+		b := make([]byte, 4*len(xs))
+		PutInt32s(b, xs)
+		got := Int32s(b)
+		for i := range xs {
+			if got[i] != xs[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(xs []float32) bool {
+		b := make([]byte, 4*len(xs))
+		PutFloat32s(b, xs)
+		got := Float32s(b)
+		for i := range xs {
+			if got[i] != xs[i] && !(math.IsNaN(float64(got[i])) && math.IsNaN(float64(xs[i]))) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCommutativeAssociative: every op is commutative, and associative on
+// integer types (the paper's assumption about ⊕), property-based.
+func TestCommutativeAssociative(t *testing.T) {
+	for _, op := range Ops() {
+		op := op
+		// Commutativity on int64.
+		if err := quick.Check(func(a, b int64) bool {
+			x := make([]byte, 8)
+			y := make([]byte, 8)
+			PutInt64s(x, []int64{a})
+			PutInt64s(y, []int64{b})
+			if err := Apply(Int64, op, x, y); err != nil {
+				return false
+			}
+			x2 := make([]byte, 8)
+			y2 := make([]byte, 8)
+			PutInt64s(x2, []int64{b})
+			PutInt64s(y2, []int64{a})
+			if err := Apply(Int64, op, x2, y2); err != nil {
+				return false
+			}
+			return Int64s(x)[0] == Int64s(x2)[0]
+		}, nil); err != nil {
+			t.Errorf("%v not commutative: %v", op, err)
+		}
+		// Associativity on int64.
+		if err := quick.Check(func(a, b, c int64) bool {
+			comb := func(p, q int64) int64 {
+				x := make([]byte, 8)
+				y := make([]byte, 8)
+				PutInt64s(x, []int64{p})
+				PutInt64s(y, []int64{q})
+				if err := Apply(Int64, op, x, y); err != nil {
+					panic(err)
+				}
+				return Int64s(x)[0]
+			}
+			return comb(comb(a, b), c) == comb(a, comb(b, c))
+		}, nil); err != nil {
+			t.Errorf("%v not associative: %v", op, err)
+		}
+	}
+}
+
+// TestAllTypesAllOps smoke-tests every (type, op) pair on small positive
+// values with a scalar reference.
+func TestAllTypesAllOps(t *testing.T) {
+	for _, ty := range Types() {
+		for _, op := range Ops() {
+			es := ty.Size()
+			dst := make([]byte, 3*es)
+			src := make([]byte, 3*es)
+			put := func(b []byte, v float64, i int) {
+				switch ty {
+				case Uint8:
+					b[i] = byte(v)
+				case Int32:
+					PutInt32s(b[4*i:4*i+4], []int32{int32(v)})
+				case Int64:
+					PutInt64s(b[8*i:8*i+8], []int64{int64(v)})
+				case Float32:
+					PutFloat32s(b[4*i:4*i+4], []float32{float32(v)})
+				case Float64:
+					PutFloat64s(b[8*i:8*i+8], []float64{v})
+				}
+			}
+			get := func(b []byte, i int) float64 {
+				switch ty {
+				case Uint8:
+					return float64(b[i])
+				case Int32:
+					return float64(Int32s(b[4*i : 4*i+4])[0])
+				case Int64:
+					return float64(Int64s(b[8*i : 8*i+8])[0])
+				case Float32:
+					return float64(Float32s(b[4*i : 4*i+4])[0])
+				default:
+					return Float64s(b[8*i : 8*i+8])[0]
+				}
+			}
+			for i := 0; i < 3; i++ {
+				put(dst, float64(i+2), i)
+				put(src, float64(4-i), i)
+			}
+			if err := Apply(ty, op, dst, src); err != nil {
+				t.Fatalf("%v/%v: %v", ty, op, err)
+			}
+			ref := func(a, b float64) float64 {
+				switch op {
+				case Sum:
+					return a + b
+				case Prod:
+					return a * b
+				case Max:
+					return math.Max(a, b)
+				default:
+					return math.Min(a, b)
+				}
+			}
+			for i := 0; i < 3; i++ {
+				want := ref(float64(i+2), float64(4-i))
+				if got := get(dst, i); got != want {
+					t.Errorf("%v/%v elem %d: %v, want %v", ty, op, i, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package group
+
+// Integer factorization utilities. Hybrid algorithm selection (§6) views a
+// group of p nodes as a logical d1×…×dk mesh, so the planner must enumerate
+// ordered factorizations of p. The paper notes the approach "has a heavy
+// dependence on the integer factorization of the dimensions of the physical
+// mesh"; these helpers are where that dependence lives.
+
+// PrimeFactors returns the prime factorization of n ≥ 1 in nondecreasing
+// order. PrimeFactors(1) is empty.
+func PrimeFactors(n int) []int {
+	var fs []int
+	for n%2 == 0 {
+		fs = append(fs, 2)
+		n /= 2
+	}
+	for d := 3; d*d <= n; d += 2 {
+		for n%d == 0 {
+			fs = append(fs, d)
+			n /= d
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}
+
+// Divisors returns all divisors of n ≥ 1 in increasing order.
+func Divisors(n int) []int {
+	var lo, hi []int
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			lo = append(lo, d)
+			if d != n/d {
+				hi = append(hi, n/d)
+			}
+		}
+	}
+	for i := len(hi) - 1; i >= 0; i-- {
+		lo = append(lo, hi[i])
+	}
+	return lo
+}
+
+// OrderedFactorizations returns every way to write n as an ordered product
+// of factors ≥ 2, capped at maxFactors factors per factorization (0 means
+// no cap). The single-factor sequence [n] is included for n ≥ 2;
+// OrderedFactorizations(1, …) returns one empty factorization. Sequences
+// are emitted in lexicographic order of their factor lists.
+//
+// These are exactly the candidate logical meshes for a hybrid on one
+// physical dimension: (2×15), (15×2), (2×3×5), … for n = 30.
+func OrderedFactorizations(n, maxFactors int) [][]int {
+	if n < 1 {
+		return nil
+	}
+	if n == 1 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	var cur []int
+	var rec func(rem int)
+	rec = func(rem int) {
+		if rem == 1 {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		if maxFactors > 0 && len(cur) == maxFactors {
+			return
+		}
+		for _, d := range Divisors(rem) {
+			if d < 2 {
+				continue
+			}
+			cur = append(cur, d)
+			rec(rem / d)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(n)
+	return out
+}
+
+// CeilLog2 returns ⌈log₂ p⌉ for p ≥ 1 — the step count of every
+// minimum-spanning-tree primitive in the paper.
+func CeilLog2(p int) int {
+	if p <= 1 {
+		return 0
+	}
+	k, v := 0, 1
+	for v < p {
+		v <<= 1
+		k++
+	}
+	return k
+}

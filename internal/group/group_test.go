@@ -1,0 +1,211 @@
+package group
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestLayouts: coordinates round-trip and strides are consistent.
+func TestLayouts(t *testing.T) {
+	l := Mesh2D(16, 32)
+	if l.P() != 512 {
+		t.Fatalf("P = %d", l.P())
+	}
+	if l.Stride(0) != 1 || l.Stride(1) != 32 {
+		t.Errorf("strides %d,%d", l.Stride(0), l.Stride(1))
+	}
+	for _, rank := range []int{0, 31, 32, 511, 100} {
+		if got := l.Rank(l.Coords(rank)); got != rank {
+			t.Errorf("coords round trip: %d → %d", rank, got)
+		}
+	}
+	if s := Linear(30).String(); s != "30-node linear array" {
+		t.Errorf("linear string %q", s)
+	}
+	if s := Mesh2D(15, 30).String(); s != "15x30 mesh" {
+		t.Errorf("mesh string %q", s)
+	}
+	if err := (Layout{}).Validate(); err == nil {
+		t.Error("empty layout valid")
+	}
+	if err := (Layout{Extents: []int{0}}).Validate(); err == nil {
+		t.Error("zero extent valid")
+	}
+}
+
+// TestPrimeFactors pins factorizations.
+func TestPrimeFactors(t *testing.T) {
+	cases := map[int][]int{
+		1: {}, 2: {2}, 30: {2, 3, 5}, 512: {2, 2, 2, 2, 2, 2, 2, 2, 2},
+		450: {2, 3, 3, 5, 5}, 97: {97},
+	}
+	for n, want := range cases {
+		got := PrimeFactors(n)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("PrimeFactors(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// TestPrimeFactorsProduct: property — factors multiply back to n and are
+// all prime.
+func TestPrimeFactorsProduct(t *testing.T) {
+	if err := quick.Check(func(x uint16) bool {
+		n := int(x)%5000 + 1
+		prod := 1
+		for _, f := range PrimeFactors(n) {
+			prod *= f
+			for d := 2; d*d <= f; d++ {
+				if f%d == 0 {
+					return false
+				}
+			}
+		}
+		return prod == n
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDivisors pins divisor enumeration.
+func TestDivisors(t *testing.T) {
+	if got := Divisors(30); !reflect.DeepEqual(got, []int{1, 2, 3, 5, 6, 10, 15, 30}) {
+		t.Errorf("Divisors(30) = %v", got)
+	}
+	if got := Divisors(1); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("Divisors(1) = %v", got)
+	}
+	if got := Divisors(16); !reflect.DeepEqual(got, []int{1, 2, 4, 8, 16}) {
+		t.Errorf("Divisors(16) = %v", got)
+	}
+}
+
+// TestOrderedFactorizations: counts and contents for known cases.
+func TestOrderedFactorizations(t *testing.T) {
+	fs := OrderedFactorizations(30, 0)
+	// 30: [30], 3 ways as 2 ordered factors ×2 orders = 6, plus 3! = 6
+	// orders of (2,3,5): 13 total.
+	if len(fs) != 13 {
+		t.Errorf("30 has %d ordered factorizations, want 13", len(fs))
+	}
+	for _, f := range fs {
+		prod := 1
+		for _, d := range f {
+			if d < 2 {
+				t.Errorf("factor %d < 2 in %v", d, f)
+			}
+			prod *= d
+		}
+		if prod != 30 {
+			t.Errorf("%v multiplies to %d", f, prod)
+		}
+	}
+	capped := OrderedFactorizations(16, 2)
+	for _, f := range capped {
+		if len(f) > 2 {
+			t.Errorf("cap violated: %v", f)
+		}
+	}
+	if got := OrderedFactorizations(1, 0); len(got) != 1 || len(got[0]) != 0 {
+		t.Errorf("OrderedFactorizations(1) = %v", got)
+	}
+	if got := OrderedFactorizations(97, 4); len(got) != 1 {
+		t.Errorf("prime should have exactly [97]: %v", got)
+	}
+}
+
+// TestCeilLog2 pins the MST step count.
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 30: 5, 512: 9, 450: 9}
+	for p, want := range cases {
+		if got := CeilLog2(p); got != want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+// TestMembers: identity, arithmetic, rows, columns, validation, index.
+func TestMembers(t *testing.T) {
+	if got := Identity(4); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Errorf("Identity(4) = %v", got)
+	}
+	if got := Arithmetic(3, 4, 3); !reflect.DeepEqual(got, []int{3, 7, 11}) {
+		t.Errorf("Arithmetic = %v", got)
+	}
+	l := Mesh2D(3, 4)
+	if got := Row(l, 1); !reflect.DeepEqual(got, []int{4, 5, 6, 7}) {
+		t.Errorf("Row 1 = %v", got)
+	}
+	if got := Column(l, 2); !reflect.DeepEqual(got, []int{2, 6, 10}) {
+		t.Errorf("Column 2 = %v", got)
+	}
+	if err := Validate([]int{0, 1, 1}, 4); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := Validate([]int{0, 9}, 4); err == nil {
+		t.Error("out of range accepted")
+	}
+	if err := Validate(nil, 4); err == nil {
+		t.Error("empty accepted")
+	}
+	if Index([]int{5, 2, 9}, 9) != 2 || Index([]int{5}, 1) != -1 {
+		t.Error("Index wrong")
+	}
+}
+
+// TestIsArithmetic covers stride detection.
+func TestIsArithmetic(t *testing.T) {
+	if b, s, ok := IsArithmetic([]int{4, 7, 10}); !ok || b != 4 || s != 3 {
+		t.Errorf("got %d,%d,%v", b, s, ok)
+	}
+	if _, _, ok := IsArithmetic([]int{4, 7, 11}); ok {
+		t.Error("ragged accepted")
+	}
+	if _, _, ok := IsArithmetic([]int{4, 4}); ok {
+		t.Error("zero stride accepted")
+	}
+	if b, s, ok := IsArithmetic([]int{6}); !ok || b != 6 || s != 1 {
+		t.Errorf("singleton: %d,%d,%v", b, s, ok)
+	}
+}
+
+// TestDetectStructure implements §9's classification policy.
+func TestDetectStructure(t *testing.T) {
+	phys := Mesh2D(4, 6) // ranks 0..23, 6 columns
+	cases := []struct {
+		name     string
+		members  []int
+		extents  []int
+		conflict bool
+	}{
+		{"row", Row(phys, 2), []int{6}, true},
+		{"column", Column(phys, 3), []int{4}, true},
+		{"row prefix", []int{6, 7, 8}, []int{3}, true},
+		{"whole rows", []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, []int{6, 2}, true},
+		{"submesh 2x3", []int{1, 2, 3, 7, 8, 9}, []int{3, 2}, true},
+		{"strided non-column", []int{0, 5, 10, 15}, []int{4}, false},
+		{"scattered", []int{0, 3, 17}, []int{3}, false},
+	}
+	for _, c := range cases {
+		l, cf := DetectStructure(c.members, phys)
+		if !reflect.DeepEqual(l.Extents, c.extents) || cf != c.conflict {
+			t.Errorf("%s: layout %v conflictFree=%v, want %v %v", c.name, l.Extents, cf, c.extents, c.conflict)
+		}
+	}
+}
+
+// TestDetectStructureLinearPhys: on a linear physical layout only
+// contiguous runs are conflict-free.
+func TestDetectStructureLinearPhys(t *testing.T) {
+	phys := Linear(20)
+	if l, cf := DetectStructure([]int{5, 6, 7}, phys); !cf || l.Extents[0] != 3 {
+		t.Errorf("contiguous run: %v %v", l, cf)
+	}
+	if _, cf := DetectStructure([]int{0, 2, 4}, phys); cf {
+		t.Errorf("strided run marked conflict-free")
+	}
+}

@@ -1,0 +1,99 @@
+// Package group provides the node-arrangement machinery underneath the
+// collective library: physical layouts (linear arrays and 2-D meshes),
+// integer factorizations used to choose logical d1×…×dk meshes (paper §6),
+// and the member-list abstraction of §9 — a group is an array of node ids
+// providing the logical-to-physical mapping, so that every collective
+// primitive can run unchanged on "all nodes", on a row or column of the
+// mesh, or on an arbitrary user-defined subset.
+package group
+
+import "fmt"
+
+// Layout describes the physical arrangement of the nodes a communicator
+// spans. Extents lists the physical dimensions in order of increasing
+// rank stride: a linear array of p nodes is Layout{[p]}; an R-row C-column
+// mesh whose node (r, c) has rank r·C+c is Layout{[C, R]} (columns vary
+// fastest). Communications within one physical dimension of a mesh use
+// links disjoint from the other dimension, which is what makes whole rows
+// and whole columns conflict-free (§7.1).
+type Layout struct {
+	Extents []int
+}
+
+// Linear returns the layout of a p-node linear array (§4's setting).
+func Linear(p int) Layout { return Layout{Extents: []int{p}} }
+
+// Mesh2D returns the layout of an rows×cols physical mesh with row-major
+// rank numbering, the paper's target architecture (§2).
+func Mesh2D(rows, cols int) Layout { return Layout{Extents: []int{cols, rows}} }
+
+// P returns the total number of nodes in the layout.
+func (l Layout) P() int {
+	p := 1
+	for _, e := range l.Extents {
+		p *= e
+	}
+	return p
+}
+
+// Stride returns the rank stride of physical dimension d, i.e. the product
+// of all lower-numbered extents.
+func (l Layout) Stride(d int) int {
+	s := 1
+	for i := 0; i < d; i++ {
+		s *= l.Extents[i]
+	}
+	return s
+}
+
+// Coords decomposes a rank into its physical coordinates, innermost first.
+func (l Layout) Coords(rank int) []int {
+	c := make([]int, len(l.Extents))
+	for i, e := range l.Extents {
+		c[i] = rank % e
+		rank /= e
+	}
+	return c
+}
+
+// Rank composes physical coordinates (innermost first) back into a rank.
+func (l Layout) Rank(coords []int) int {
+	r, s := 0, 1
+	for i, e := range l.Extents {
+		r += coords[i] * s
+		s *= e
+	}
+	return r
+}
+
+// Validate checks that the layout is well formed.
+func (l Layout) Validate() error {
+	if len(l.Extents) == 0 {
+		return fmt.Errorf("group: layout has no dimensions")
+	}
+	for i, e := range l.Extents {
+		if e < 1 {
+			return fmt.Errorf("group: layout extent %d is %d", i, e)
+		}
+	}
+	return nil
+}
+
+// String renders the layout as, e.g., "16x32 mesh" or "30-node linear array".
+func (l Layout) String() string {
+	if len(l.Extents) == 1 {
+		return fmt.Sprintf("%d-node linear array", l.Extents[0])
+	}
+	if len(l.Extents) == 2 {
+		// Extents are [cols, rows]; print the conventional rows×cols.
+		return fmt.Sprintf("%dx%d mesh", l.Extents[1], l.Extents[0])
+	}
+	s := ""
+	for i := len(l.Extents) - 1; i >= 0; i-- {
+		if s != "" {
+			s += "x"
+		}
+		s += fmt.Sprint(l.Extents[i])
+	}
+	return s + " mesh"
+}

@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestAblationFlips reproduces §8's qualitative claim end to end: the
+// pipelined broadcast beats scatter/collect in a noise-free simulation,
+// and the ranking flips once operating-system timing noise grows.
+func TestAblationFlips(t *testing.T) {
+	tab, err := AblatePipelined(16, 8<<20, []float64{0, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Rows[0][3]; got != "pipelined" {
+		t.Errorf("noise-free winner = %s, want pipelined (the §8 'theoretically superior' case)", got)
+	}
+	if got := tab.Rows[1][3]; got != "scatter/collect" {
+		t.Errorf("noisy winner = %s, want scatter/collect (the §8 'real systems' case)", got)
+	}
+}
+
+// TestCubeBroadcasts: the native-hypercube comparison — Gray-pipelined
+// wins long vectors, MST wins short ones, and the unpipelined EDST trees
+// demonstrate §8's implementation-difficulty verdict by not winning.
+func TestCubeBroadcasts(t *testing.T) {
+	tab, err := CubeBroadcasts(32, []int{8, 16 << 20}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmt.Sscan(s, &v); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	shortRow, longRow := tab.Rows[0], tab.Rows[1]
+	if mst, pipe := parse(shortRow[1]), parse(shortRow[4]); mst >= pipe {
+		t.Errorf("8B: MST %v should beat pipelined %v", mst, pipe)
+	}
+	sc, edst, pipe := parse(longRow[2]), parse(longRow[3]), parse(longRow[4])
+	if ratio := sc / pipe; ratio < 1.5 {
+		t.Errorf("16MB: Gray-pipelined speedup over scatter/collect = %.2f, want ≥1.5", ratio)
+	}
+	if edst < sc*0.9 {
+		t.Errorf("16MB: unpipelined EDST %v unexpectedly beats scatter/collect %v", edst, sc)
+	}
+}

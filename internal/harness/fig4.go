@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/group"
+	"repro/internal/model"
+)
+
+// Fig. 4: measured performance of representative collectives on the
+// simulated Paragon. Left panel: collect on a 16×32 mesh (power-of-two
+// dimensions). Right panel: broadcast on a 15×30 mesh (significantly
+// non-power-of-two). Each panel compares the NX baseline against the
+// InterCom short-vector, long-vector and automatically chosen hybrid
+// algorithms across message lengths.
+
+// fig4Series is one algorithm column of a panel.
+type fig4Series struct {
+	name string
+	run  func(n int) (float64, error)
+}
+
+func fig4Panel(title string, op Op, rows, cols int, lengths []int) (Table, error) {
+	m := model.ParagonLike()
+	pl := model.NewPlanner(m)
+	layout := group.Mesh2D(rows, cols)
+	coll := collective(op)
+	series := []fig4Series{
+		{"NX", func(n int) (float64, error) { return RunNX(op, rows, cols, n, m) }},
+		{"iCC short (MST)", func(n int) (float64, error) {
+			return RunICC(op, rows, cols, n, m, model.MSTShape(layout))
+		}},
+		{"iCC long (bucket)", func(n int) (float64, error) {
+			return RunICC(op, rows, cols, n, m, model.BucketShape(layout))
+		}},
+		{"iCC hybrid (auto)", func(n int) (float64, error) {
+			s, _ := pl.Best(coll, layout, n)
+			return RunICC(op, rows, cols, n, m, s)
+		}},
+	}
+	t := Table{Title: title, Header: []string{"bytes"}}
+	for _, s := range series {
+		t.Header = append(t.Header, s.name)
+	}
+	t.Header = append(t.Header, "auto shape")
+	for _, n := range lengths {
+		row := []string{bytesLabel(n)}
+		for _, s := range series {
+			v, err := s.run(n)
+			if err != nil {
+				return t, fmt.Errorf("%s n=%d: %w", s.name, n, err)
+			}
+			row = append(row, secs(v))
+		}
+		s, _ := pl.Best(coll, layout, n)
+		row = append(row, s.String())
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig4Collect regenerates the left panel: collect on a rows×cols mesh
+// (paper: 16×32).
+func Fig4Collect(rows, cols int, lengths []int) (Table, error) {
+	return fig4Panel(
+		fmt.Sprintf("Fig. 4 (left): collect on a %dx%d simulated Paragon mesh, time (s)", rows, cols),
+		OpCollect, rows, cols, lengths)
+}
+
+// Fig4Bcast regenerates the right panel: broadcast on a rows×cols mesh
+// (paper: 15×30, deviating significantly from a power-of-two mesh).
+func Fig4Bcast(rows, cols int, lengths []int) (Table, error) {
+	return fig4Panel(
+		fmt.Sprintf("Fig. 4 (right): broadcast on a %dx%d simulated Paragon mesh, time (s)", rows, cols),
+		OpBcast, rows, cols, lengths)
+}
+
+// Crossover is the §5/§6 ablation: for one collective and layout, the
+// short, long and auto algorithms across lengths, showing where the
+// crossovers fall and that auto rides the envelope.
+func Crossover(coll model.Collective, rows, cols int, lengths []int) (Table, error) {
+	m := model.ParagonLike()
+	pl := model.NewPlanner(m)
+	layout := group.Mesh2D(rows, cols)
+	var op Op
+	switch coll {
+	case model.Bcast:
+		op = OpBcast
+	case model.Collect:
+		op = OpCollect
+	case model.AllReduce:
+		op = OpGlobalSum
+	default:
+		return Table{}, fmt.Errorf("harness: crossover supports bcast, collect, all-reduce")
+	}
+	t := Table{
+		Title:  fmt.Sprintf("Crossover: %v on %dx%d simulated mesh, time (s)", coll, rows, cols),
+		Header: []string{"bytes", "short (MST)", "long (bucket)", "auto hybrid", "auto shape"},
+	}
+	for _, n := range lengths {
+		short, err := RunICC(op, rows, cols, n, m, model.MSTShape(layout))
+		if err != nil {
+			return t, err
+		}
+		long, err := RunICC(op, rows, cols, n, m, model.BucketShape(layout))
+		if err != nil {
+			return t, err
+		}
+		s, _ := pl.Best(coll, layout, n)
+		auto, err := RunICC(op, rows, cols, n, m, s)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			bytesLabel(n), secs(short), secs(long), secs(auto), s.String(),
+		})
+	}
+	return t, nil
+}

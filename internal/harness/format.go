@@ -1,0 +1,102 @@
+// Package harness regenerates the paper's evaluation artifacts: Table 2's
+// hybrid cost menu, Fig. 2's predicted broadcast curves, Table 3's NX
+// versus InterCom comparison on a simulated 512-node Paragon, Fig. 4's
+// measured collect and broadcast curves, Fig. 1's step-by-step hybrid
+// trace, and the ablations discussed in §5/§6/§8. The cmd/ tools print
+// these at full paper scale; bench_test.go runs scaled-down versions as
+// benchmarks. EXPERIMENTS.md records paper-versus-measured for each.
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table with aligned columns, suitable for terminals
+// and EXPERIMENTS.md code blocks.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values for plotting.
+func (t Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// secs formats a time like the paper's Table 3 (seconds, 2–3 significant
+// figures).
+func secs(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case s < 1e-3:
+		return fmt.Sprintf("%.2g", s)
+	case s < 1:
+		return fmt.Sprintf("%.3g", s)
+	default:
+		return fmt.Sprintf("%.3g", s)
+	}
+}
+
+// bytesLabel formats a message length: 8, 64K, 1M.
+func bytesLabel(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprint(n)
+	}
+}

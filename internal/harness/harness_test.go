@@ -1,0 +1,295 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestTable2Values: the regenerated table carries the verified paper
+// entries.
+func TestTable2Values(t *testing.T) {
+	tab := Table2()
+	want := map[string][2]string{
+		"2x3x5 SSMCC": {"9", "160/30"},
+		"2x15 SMC":    {"6", "150/30"},
+		"30 M":        {"5", "150/30"},
+		"5x6 SSCC":    {"15", "98/30"},
+		"2x15 SSCC":   {"20", "86/30"},
+		"3x10 SSCC":   {"17", "94/30"},
+		"10x3 SSCC":   {"17", "94/30"},
+		"3x10 SMC":    {"8", "160/30"},
+	}
+	seen := 0
+	for _, r := range tab.Rows {
+		key := r[0] + " " + r[1]
+		if w, ok := want[key]; ok {
+			seen++
+			if r[2] != w[0] || r[3] != w[1] {
+				t.Errorf("%s: got (%s, %s), want %v", key, r[2], r[3], w)
+			}
+		}
+	}
+	if seen != len(want) {
+		t.Errorf("only %d of %d expected rows present", seen, len(want))
+	}
+}
+
+// TestFig2Envelope: in the predicted curves, MST is best at 8 bytes and
+// not best at 1 MB — the crossover structure of the figure.
+func TestFig2Envelope(t *testing.T) {
+	tab := Fig2([]int{8, 1 << 20})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("want 2 rows")
+	}
+	bestShort := tab.Rows[0][len(tab.Rows[0])-1]
+	bestLong := tab.Rows[1][len(tab.Rows[1])-1]
+	if !strings.Contains(bestShort, "M") || strings.Contains(bestShort, "SSCC") {
+		t.Errorf("best hybrid at 8 bytes = %q, want the MST", bestShort)
+	}
+	if bestLong == bestShort {
+		t.Errorf("same hybrid best at both extremes: %q", bestLong)
+	}
+}
+
+// TestFig2PlannerMonotonicMenu: the chosen hybrid's latency term never
+// decreases with message length (longer vectors trade latency for
+// bandwidth).
+func TestFig2PlannerMonotonicMenu(t *testing.T) {
+	tab := Fig2Planner([]int{8, 1024, 65536, 1 << 20})
+	if len(tab.Rows) != 4 {
+		t.Fatalf("want 4 rows")
+	}
+	if tab.Rows[0][1] == tab.Rows[3][1] {
+		t.Errorf("planner chose the same hybrid for 8B and 1MB: %s", tab.Rows[0][1])
+	}
+}
+
+// TestTable3SmallScale: on an 8×8 mesh the qualitative Table 3 structure
+// holds — InterCom at least ties NX everywhere past short vectors and wins
+// by a large factor on long vectors and on collect.
+func TestTable3SmallScale(t *testing.T) {
+	tab, err := Table3(8, 8, []int{8, 65536, 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := map[string]map[string]float64{}
+	for _, r := range tab.Rows {
+		if ratios[r[0]] == nil {
+			ratios[r[0]] = map[string]float64{}
+		}
+		var v float64
+		if _, err := fmt.Sscan(r[4], &v); err != nil {
+			t.Fatalf("ratio %q: %v", r[4], err)
+		}
+		ratios[r[0]][r[1]] = v
+	}
+	if v := ratios["Broadcast"]["8"]; v > 1.6 || v < 0.5 {
+		t.Errorf("8-byte broadcast ratio %v, want ≈1 (NX ties or wins short vectors)", v)
+	}
+	if v := ratios["Broadcast"]["1M"]; v < 3 {
+		t.Errorf("1MB broadcast ratio %v, want ≫1", v)
+	}
+	if v := ratios["Collect (known lengths)"]["8"]; v < 3 {
+		t.Errorf("8-byte collect ratio %v, want ≫1", v)
+	}
+	if v := ratios["Global Sum"]["1M"]; v < 3 {
+		t.Errorf("1MB global sum ratio %v, want ≫1", v)
+	}
+}
+
+// TestFig4SmallScale: the panels generate, and the auto hybrid is never
+// slower than both fixed algorithms.
+func TestFig4SmallScale(t *testing.T) {
+	for _, panel := range []func(int, int, []int) (Table, error){Fig4Collect, Fig4Bcast} {
+		tab, err := panel(4, 8, []int{8, 4096, 262144})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tab.Rows {
+			var short, long, auto float64
+			if _, err := fmt.Sscan(r[2], &short); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fmt.Sscan(r[3], &long); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fmt.Sscan(r[4], &auto); err != nil {
+				t.Fatal(err)
+			}
+			if auto > short*1.05 && auto > long*1.05 {
+				t.Errorf("%s n=%s: auto %v worse than both short %v and long %v",
+					tab.Title, r[0], auto, short, long)
+			}
+		}
+	}
+}
+
+// TestCrossoverShape: short wins small, long wins large for broadcast.
+func TestCrossoverShape(t *testing.T) {
+	tab, err := Crossover(model.Bcast, 4, 8, []int{8, 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s8, l8, s1m, l1m float64
+	if _, err := fmt.Sscan(tab.Rows[0][1], &s8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscan(tab.Rows[0][2], &l8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscan(tab.Rows[1][1], &s1m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscan(tab.Rows[1][2], &l1m); err != nil {
+		t.Fatal(err)
+	}
+	if s8 >= l8 {
+		t.Errorf("8 bytes: short %v should beat long %v", s8, l8)
+	}
+	if l1m >= s1m {
+		t.Errorf("1MB: long %v should beat short %v", l1m, s1m)
+	}
+}
+
+// TestFig1Reproduction: the trace ends with every node holding the whole
+// vector, passes through the scattered state, and matches the paper's
+// step-group structure.
+func TestFig1Reproduction(t *testing.T) {
+	out, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	last := lines[len(lines)-1]
+	if c := strings.Count(last, "x0x1x2x3"); c != 12 {
+		t.Errorf("final phase: %d nodes complete, want 12\n%s", c, out)
+	}
+	// After the MST phase every node holds exactly one piece (root all 4).
+	var mstLine string
+	for _, l := range lines {
+		if strings.Contains(l, "MST broadcast") {
+			mstLine = l
+		}
+	}
+	if mstLine == "" {
+		t.Fatalf("no MST phase line\n%s", out)
+	}
+	if !strings.Contains(mstLine, "x0x1x2x3") {
+		t.Errorf("root lost data during MST phase")
+	}
+	if strings.Contains(mstLine, "-") {
+		t.Errorf("a node is still empty after the MST phase\n%s", out)
+	}
+}
+
+// TestTableFormats: String and CSV render consistently.
+func TestTableFormats(t *testing.T) {
+	tab := Table{
+		Title:  "T",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"3", "4"}},
+		Notes:  []string{"n"},
+	}
+	s := tab.String()
+	if !strings.Contains(s, "T\n") || !strings.Contains(s, "note: n") {
+		t.Errorf("bad render:\n%s", s)
+	}
+	csv := tab.CSV()
+	if csv != "a,b\n1,2\n3,4\n" {
+		t.Errorf("bad csv: %q", csv)
+	}
+	if bytesLabel(8) != "8" || bytesLabel(65536) != "64K" || bytesLabel(1<<20) != "1M" {
+		t.Errorf("bytesLabel wrong")
+	}
+}
+
+// TestSweepEnvelope: for every collective of Table 1, the auto algorithm
+// is never meaningfully worse than the better of the two fixed algorithms
+// across the length range — the library's title claim.
+func TestSweepEnvelope(t *testing.T) {
+	for _, coll := range model.Collectives() {
+		tab, err := Sweep(coll, 4, 8, []int{8, 4096, 262144})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tab.Rows {
+			var short, long, auto float64
+			if _, err := fmt.Sscan(r[1], &short); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fmt.Sscan(r[2], &long); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fmt.Sscan(r[3], &auto); err != nil {
+				t.Fatal(err)
+			}
+			best := short
+			if long < best {
+				best = long
+			}
+			if auto > best*1.05 {
+				t.Errorf("%v n=%s: auto %v exceeds best fixed %v by >5%%", coll, r[0], auto, best)
+			}
+		}
+	}
+}
+
+// TestPortStudy: §11 — with Delta-like parameters (8× slower links) the
+// planner switches to bandwidth-oriented hybrids at shorter vector lengths
+// than with Paragon-like parameters; the choices must differ somewhere in
+// the range, with no code changes.
+func TestPortStudy(t *testing.T) {
+	tab := PortStudy(30, []int{8, 4096, 16384, 65536, 1 << 20})
+	differ := false
+	for _, r := range tab.Rows {
+		if r[1] != r[3] {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Errorf("Delta and Paragon planners agreed everywhere; parameters should change the menu")
+	}
+	// Both agree on MST for 8 bytes; at 1 MB the slow-linked Delta is on
+	// the pure scatter/collect while the Paragon exploits a hybrid.
+	if tab.Rows[0][1] != "(30, M)" || tab.Rows[0][3] != "(30, M)" {
+		t.Errorf("8 bytes should be MST on both machines: %v", tab.Rows[0])
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[1] == "(30, M)" || last[3] == "(30, M)" {
+		t.Errorf("1MB should not be MST on either machine: %v", last)
+	}
+	if last[1] == last[3] {
+		t.Errorf("1MB choices should differ between machines: %v", last)
+	}
+}
+
+// TestGroupStructureStudy: §9's performance claim — structured groups
+// (rows, sub-meshes) beat the scattered fallback for long vectors, and the
+// sub-mesh (mesh-aware planning) is the fastest of all.
+func TestGroupStructureStudy(t *testing.T) {
+	tab, err := GroupStructureStudy(16, 32, []int{65536, 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		var row, submesh, scattered float64
+		if _, err := fmt.Sscan(r[1], &row); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmt.Sscan(r[3], &submesh); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmt.Sscan(r[4], &scattered); err != nil {
+			t.Fatal(err)
+		}
+		if row > scattered {
+			t.Errorf("n=%s: physical row %v slower than scattered %v", r[0], row, scattered)
+		}
+		if submesh > scattered {
+			t.Errorf("n=%s: sub-mesh %v slower than scattered %v", r[0], submesh, scattered)
+		}
+	}
+}

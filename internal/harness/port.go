@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/group"
+	"repro/internal/model"
+)
+
+// PortStudy reproduces §11's porting story: "to port the library between
+// platforms or tune it for new operating system releases, it suffices to
+// enter a few parameters that describe the latency, bandwidth and
+// computation characteristics of the system". Two machines with different
+// α/β ratios (Touchstone Delta: slow links; Paragon: fast links) make the
+// planner choose different hybrids at the same vector lengths — no
+// algorithm code changes, exactly the claim.
+func PortStudy(p int, lengths []int) Table {
+	machines := []struct {
+		name string
+		m    model.Machine
+	}{
+		{"Delta-like", model.DeltaLike()},
+		{"Paragon-like", model.ParagonLike()},
+	}
+	layout := group.Linear(p)
+	t := Table{
+		Title:  fmt.Sprintf("§11 port study: planner choices for broadcast on %d nodes as machine parameters change", p),
+		Header: []string{"bytes"},
+		Notes: []string{
+			fmt.Sprintf("Delta-like: α=%.0fµs, 1/β=%.0fMB/s; Paragon-like: α=%.0fµs, 1/β=%.0fMB/s",
+				machines[0].m.Alpha*1e6, 1/machines[0].m.Beta/1e6,
+				machines[1].m.Alpha*1e6, 1/machines[1].m.Beta/1e6),
+			"same library, same planner — only the machine parameters differ (§11)",
+		},
+	}
+	for _, mc := range machines {
+		t.Header = append(t.Header, mc.name+" shape", mc.name+" predicted (s)")
+	}
+	for _, n := range lengths {
+		row := []string{bytesLabel(n)}
+		for _, mc := range machines {
+			pl := model.NewPlanner(mc.m)
+			s, cost := pl.Best(model.Bcast, layout, n)
+			row = append(row, s.String(), secs(cost))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

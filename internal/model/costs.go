@@ -1,0 +1,96 @@
+package model
+
+import "repro/internal/group"
+
+// Primitive and derived-algorithm costs from §4 and §5. Every function
+// takes the group size p, the total vector length n in bytes, and a
+// network-conflict factor c (the number of interleaved groups sharing
+// links; 1 for a whole linear array, a physical row, or a physical
+// column). The conflict factor scales only the β terms — latency and
+// arithmetic are unaffected by link sharing.
+
+// MSTBcast is the minimum-spanning-tree broadcast of §4.1:
+// ⌈log₂p⌉ (α + nβ).
+func (m Machine) MSTBcast(p int, n float64, c int) float64 {
+	l := float64(group.CeilLog2(p))
+	return l * (m.Alpha + m.StepOverhead + n*m.Beta*m.Conflict(c))
+}
+
+// MSTReduce is the combine-to-one of §4.1, the broadcast run in reverse
+// with combining interleaved: ⌈log₂p⌉ (α + nβ + nγ).
+func (m Machine) MSTReduce(p int, n float64, c int) float64 {
+	l := float64(group.CeilLog2(p))
+	return l * (m.Alpha + m.StepOverhead + n*m.Beta*m.Conflict(c) + n*m.Gamma)
+}
+
+// MSTScatter is the scatter of §4.1, a broadcast that forwards only the
+// half destined for the other side: ⌈log₂p⌉ α + ((p-1)/p) nβ.
+func (m Machine) MSTScatter(p int, n float64, c int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	l := float64(group.CeilLog2(p))
+	f := float64(p-1) / float64(p)
+	return l*(m.Alpha+m.StepOverhead) + f*n*m.Beta*m.Conflict(c)
+}
+
+// MSTGather is the scatter run in reverse and costs the same (§4.1).
+func (m Machine) MSTGather(p int, n float64, c int) float64 {
+	return m.MSTScatter(p, n, c)
+}
+
+// BucketCollect is the ring collect of §4.2: (p-1)α + ((p-1)/p) nβ.
+func (m Machine) BucketCollect(p int, n float64, c int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	f := float64(p-1) / float64(p)
+	return float64(p-1)*m.Alpha + f*n*m.Beta*m.Conflict(c)
+}
+
+// BucketReduceScatter is the bucket distributed global combine of §4.2:
+// (p-1)α + ((p-1)/p) nβ + ((p-1)/p) nγ.
+func (m Machine) BucketReduceScatter(p int, n float64, c int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	f := float64(p-1) / float64(p)
+	return float64(p-1)*m.Alpha + f*n*(m.Beta*m.Conflict(c)+m.Gamma)
+}
+
+// Derived algorithms of §5, conflict-free form (whole linear array). These
+// are the endpoints of the hybrid spectrum; general hybrids are costed by
+// Shape.Cost.
+
+// ShortCollect is gather followed by broadcast (§5.1).
+func (m Machine) ShortCollect(p int, n float64, c int) float64 {
+	return m.MSTGather(p, n, c) + m.MSTBcast(p, n, c)
+}
+
+// ShortReduceScatter is combine-to-one followed by scatter (§5.1).
+func (m Machine) ShortReduceScatter(p int, n float64, c int) float64 {
+	return m.MSTReduce(p, n, c) + m.MSTScatter(p, n, c)
+}
+
+// ShortAllReduce is combine-to-one followed by broadcast (§5.1):
+// 2⌈log₂p⌉α + 2⌈log₂p⌉nβ + ⌈log₂p⌉nγ.
+func (m Machine) ShortAllReduce(p int, n float64, c int) float64 {
+	return m.MSTReduce(p, n, c) + m.MSTBcast(p, n, c)
+}
+
+// LongBcast is scatter followed by collect (§5.2):
+// (⌈log₂p⌉ + p - 1)α + 2((p-1)/p) nβ.
+func (m Machine) LongBcast(p int, n float64, c int) float64 {
+	return m.MSTScatter(p, n, c) + m.BucketCollect(p, n, c)
+}
+
+// LongReduce is distributed combine followed by gather (§5.2).
+func (m Machine) LongReduce(p int, n float64, c int) float64 {
+	return m.BucketReduceScatter(p, n, c) + m.MSTGather(p, n, c)
+}
+
+// LongAllReduce is distributed combine followed by collect (§5.2):
+// 2(p-1)α + 2((p-1)/p) nβ + ((p-1)/p) nγ.
+func (m Machine) LongAllReduce(p int, n float64, c int) float64 {
+	return m.BucketReduceScatter(p, n, c) + m.BucketCollect(p, n, c)
+}

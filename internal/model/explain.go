@@ -1,0 +1,67 @@
+package model
+
+import (
+	"sort"
+
+	"repro/internal/group"
+)
+
+// Explanation utilities behind cmd/planexplore: rather than a single
+// opaque cost, a shape can be summarized by its Table 2-style coefficients
+// and ranked against the other candidates, which is how the paper presents
+// the hybrid menu.
+
+// Coefficients reduces a shape's cost for collective c to Table 2 form:
+// seconds = a·α + d·δ + b·nβ + g·nγ, where a counts message startups, d
+// counts recursive short-vector steps (§7.2's software overhead), and b
+// and g multiply the vector length. The decomposition is exact because
+// every cost formula is affine in each machine parameter.
+func (m Machine) Coefficients(c Collective, s Shape) (a, d, b, g float64) {
+	unit := func(u Machine) float64 {
+		u.LinkExcess = m.LinkExcess
+		n := 0.0
+		if u.Beta != 0 || u.Gamma != 0 {
+			n = 1
+		}
+		return u.Cost(c, s, n)
+	}
+	a = unit(Machine{Alpha: 1})
+	d = unit(Machine{StepOverhead: 1})
+	b = unit(Machine{Beta: 1})
+	g = unit(Machine{Gamma: 1})
+	return a, d, b, g
+}
+
+// Ranked is one candidate in a plan explanation.
+type Ranked struct {
+	Shape      Shape
+	Cost       float64 // seconds at the given n
+	A, D, B, G float64 // α startups, δ steps, per-byte β and γ multipliers
+}
+
+// Explain returns every candidate shape for collective c over layout l at
+// an n-byte vector, cheapest first, with Table 2-style coefficients. topK
+// limits the result (0 = all).
+func (pl *Planner) Explain(c Collective, l group.Layout, n int, topK int) []Ranked {
+	external := c == Scatter || c == Gather || c == Collect || c == ReduceScatter
+	var out []Ranked
+	for _, base := range pl.Shapes(l) {
+		if external && !StrideDescending(base.Dims) {
+			continue
+		}
+		for sf := 0; sf <= len(base.Dims); sf++ {
+			s := Shape{Dims: base.Dims, ShortFrom: sf}
+			a, d, b, g := pl.mach.Coefficients(c, s)
+			out = append(out, Ranked{
+				Shape: s,
+				Cost:  pl.mach.Cost(c, s, float64(n)),
+				A:     a, D: d, B: b, G: g,
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
+	if topK > 0 && len(out) > topK {
+		out = out[:topK]
+	}
+	return out
+}

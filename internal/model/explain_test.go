@@ -1,0 +1,64 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/group"
+)
+
+// TestCoefficientsExact: the four-coefficient decomposition reconstructs
+// the cost exactly for arbitrary machines (affinity in each parameter).
+func TestCoefficientsExact(t *testing.T) {
+	mach := Machine{Alpha: 3e-5, Beta: 2e-8, Gamma: 4e-9, LinkExcess: 2, StepOverhead: 7e-6}
+	l := group.Linear(30)
+	for _, base := range EnumerateShapes(l, 3) {
+		for sf := 0; sf <= len(base.Dims); sf++ {
+			s := Shape{Dims: base.Dims, ShortFrom: sf}
+			for _, c := range Collectives() {
+				a, d, b, g := mach.Coefficients(c, s)
+				for _, n := range []float64{0, 1, 1e6} {
+					want := mach.Cost(c, s, n)
+					got := a*mach.Alpha + d*mach.StepOverhead + n*(b*mach.Beta+g*mach.Gamma)
+					if math.Abs(got-want) > 1e-12*math.Max(1e-9, want) {
+						t.Fatalf("%v %v n=%v: decomposition %.12g != cost %.12g", c, s, n, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExplainOrdering: Explain returns candidates cheapest-first, the
+// best matching Best, with external collectives filtered.
+func TestExplainOrdering(t *testing.T) {
+	pl := NewPlanner(ParagonLike())
+	l := group.Mesh2D(4, 8)
+	for _, c := range []Collective{Bcast, Collect, AllReduce} {
+		for _, n := range []int{8, 1 << 20} {
+			ranked := pl.Explain(c, l, n, 0)
+			if len(ranked) == 0 {
+				t.Fatalf("%v: empty explanation", c)
+			}
+			for i := 1; i < len(ranked); i++ {
+				if ranked[i].Cost < ranked[i-1].Cost-1e-15 {
+					t.Errorf("%v n=%d: ranking not sorted at %d", c, n, i)
+				}
+			}
+			_, best := pl.Best(c, l, n)
+			if math.Abs(ranked[0].Cost-best) > 1e-12*best {
+				t.Errorf("%v n=%d: Explain best %.9g != Best %.9g", c, n, ranked[0].Cost, best)
+			}
+			top := pl.Explain(c, l, n, 3)
+			if len(top) != 3 {
+				t.Errorf("topK not honored: %d", len(top))
+			}
+		}
+	}
+	// External collectives only rank realizable (stride-descending) shapes.
+	for _, r := range pl.Explain(Collect, l, 1024, 0) {
+		if !StrideDescending(r.Shape.Dims) {
+			t.Errorf("collect explanation contains non-descending shape %v", r.Shape)
+		}
+	}
+}

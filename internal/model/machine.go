@@ -1,0 +1,95 @@
+// Package model implements the paper's analytic performance model (§2, §5,
+// §6): point-to-point messages cost α + nβ seconds, combine arithmetic
+// costs γ per byte, and hybrid algorithms over logical d1×…×dk meshes pay
+// network-conflict factors equal to the number of interleaved groups
+// sharing physical links. The same formulas serve three purposes: they
+// regenerate Table 2 and Fig. 2 directly, they drive the runtime planner
+// that picks the best hybrid for a given vector length (§7.1: "very good
+// hybrids can be obtained as long as … an accurate model for their expense"
+// is available), and they pin down the discrete-event simulator in tests.
+package model
+
+import "fmt"
+
+// Machine holds the parameters describing a target system. The paper (§11)
+// reports that retuning the library for a new machine amounts to entering
+// these few numbers.
+type Machine struct {
+	// Alpha is the message startup latency in seconds (α).
+	Alpha float64
+	// Beta is the transfer time per byte in seconds (β), i.e. the
+	// reciprocal of node-to-network bandwidth.
+	Beta float64
+	// Gamma is the combine-arithmetic time per byte in seconds (γ).
+	Gamma float64
+	// LinkExcess is the ratio of physical-link bandwidth to
+	// node-to-network bandwidth, ≥ 1. Section 7.1 observes that on the
+	// Paragon "there is an excess of bandwidth on each link … as a
+	// result, each link can in effect accommodate more than one message
+	// simultaneously without penalty"; a conflict among c messages on one
+	// link therefore costs only max(1, c/LinkExcess)× the conflict-free
+	// rate. The linear-array analysis of §6 corresponds to LinkExcess=1.
+	LinkExcess float64
+	// StepOverhead is the per-recursion-level software cost in seconds of
+	// the short-vector primitives, which are "implemented using recursive
+	// function calls, which carry a measurable overhead" — the paper's
+	// explanation for iCC trailing NX on 8-byte messages (§7.2). It adds
+	// to α on every minimum-spanning-tree step; the flat bucket loops do
+	// not pay it.
+	StepOverhead float64
+}
+
+// ParagonLike returns machine parameters similar to those of the Intel
+// Paragon under OSF R1.1, the system of §7.2: roughly 100 µs latency,
+// 80 MB/s realized node bandwidth, i860-class combine arithmetic, and
+// wormhole links with about twice the node-injection bandwidth.
+func ParagonLike() Machine {
+	return Machine{
+		Alpha:        100e-6,
+		Beta:         1.0 / 80e6,
+		Gamma:        5e-9,
+		LinkExcess:   2,
+		StepOverhead: 15e-6,
+	}
+}
+
+// DeltaLike returns machine parameters similar to those of the Intel
+// Touchstone Delta, InterCom's original target (§11): higher latency and
+// lower bandwidth than the Paragon, with no link bandwidth excess.
+func DeltaLike() Machine {
+	return Machine{
+		Alpha:        150e-6,
+		Beta:         1.0 / 10e6,
+		Gamma:        10e-9,
+		LinkExcess:   1,
+		StepOverhead: 15e-6,
+	}
+}
+
+// Validate checks that the parameters are usable.
+func (m Machine) Validate() error {
+	if m.Alpha < 0 || m.Beta <= 0 || m.Gamma < 0 {
+		return fmt.Errorf("model: invalid machine %+v", m)
+	}
+	if m.LinkExcess < 1 {
+		return fmt.Errorf("model: LinkExcess %v < 1", m.LinkExcess)
+	}
+	return nil
+}
+
+// PointToPoint returns the modelled time to move n bytes between two nodes
+// without conflicts: α + nβ.
+func (m Machine) PointToPoint(n float64) float64 { return m.Alpha + n*m.Beta }
+
+// Conflict returns the effective bandwidth-sharing penalty when c messages
+// traverse one physical link: max(1, c/LinkExcess).
+func (m Machine) Conflict(c int) float64 {
+	if c <= 1 {
+		return 1
+	}
+	eff := float64(c) / m.LinkExcess
+	if eff < 1 {
+		return 1
+	}
+	return eff
+}

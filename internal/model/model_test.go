@@ -1,0 +1,259 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/group"
+)
+
+// linearShape builds a hybrid shape over a p-node linear array from its
+// logical factors, accumulating strides and conflict factors the way the
+// planner does.
+func linearShape(factors []int, shortFrom int) Shape {
+	dims := make([]Dim, len(factors))
+	stride := 1
+	for i, f := range factors {
+		dims[i] = Dim{Size: f, Stride: stride, Conflict: stride}
+		stride *= f
+	}
+	return Shape{Dims: dims, ShortFrom: shortFrom}
+}
+
+// alphaBeta evaluates a broadcast shape's cost twice to recover the α
+// coefficient and the β numerator over 30 (Table 2's normalization).
+func alphaBeta(t *testing.T, s Shape) (a, b float64) {
+	t.Helper()
+	mA := Machine{Alpha: 1, Beta: 0, Gamma: 0, LinkExcess: 1}
+	mB := Machine{Alpha: 0, Beta: 1, Gamma: 0, LinkExcess: 1}
+	a = mA.Cost(Bcast, s, 30)
+	b = mB.Cost(Bcast, s, 30)
+	return a, b
+}
+
+// TestTable2 pins the hybrid cost model to the paper's Table 2: the cost of
+// broadcasting on a 30-node linear array under each (logical mesh,
+// strategy) pair, expressed as a·α + (b/30)·n·β.
+func TestTable2(t *testing.T) {
+	cases := []struct {
+		factors   []int
+		shortFrom int
+		strategy  string
+		alpha     float64
+		betaNum   float64 // b in (b/30)nβ
+	}{
+		{[]int{30}, 0, "M", 5, 150},
+		{[]int{2, 15}, 1, "SMC", 6, 150},
+		{[]int{2, 3, 5}, 2, "SSMCC", 9, 160},
+		{[]int{3, 10}, 1, "SMC", 8, 160},
+		{[]int{3, 10}, 2, "SSCC", 17, 94},
+		{[]int{10, 3}, 2, "SSCC", 17, 94},
+		{[]int{2, 15}, 2, "SSCC", 20, 86},
+		{[]int{5, 6}, 2, "SSCC", 15, 98},
+		{[]int{6, 5}, 2, "SSCC", 15, 98},
+		{[]int{30}, 1, "SC", 34, 58}, // pure scatter/collect: (⌈log 30⌉+29)α + 2(29/30)nβ
+	}
+	for _, c := range cases {
+		s := linearShape(c.factors, c.shortFrom)
+		if got := s.Strategy(); got != c.strategy {
+			t.Errorf("%v: strategy %q, want %q", s, got, c.strategy)
+		}
+		if err := s.Validate(30); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		a, b := alphaBeta(t, s)
+		if a != c.alpha {
+			t.Errorf("%s %s: α coefficient = %v, want %v", s.Mesh(), c.strategy, a, c.alpha)
+		}
+		if math.Abs(b-c.betaNum) > 1e-9 {
+			t.Errorf("%s %s: β numerator = %v, want %v", s.Mesh(), c.strategy, b, c.betaNum)
+		}
+	}
+}
+
+// TestPrimitiveCosts pins the §4 building-block formulas.
+func TestPrimitiveCosts(t *testing.T) {
+	m := Machine{Alpha: 3, Beta: 5, Gamma: 7, LinkExcess: 1}
+	const p, n = 8, 100.0
+	f := float64(p-1) / float64(p)
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"MSTBcast", m.MSTBcast(p, n, 1), 3 * (3 + n*5)},
+		{"MSTReduce", m.MSTReduce(p, n, 1), 3 * (3 + n*5 + n*7)},
+		{"MSTScatter", m.MSTScatter(p, n, 1), 3*3 + f*n*5},
+		{"MSTGather", m.MSTGather(p, n, 1), 3*3 + f*n*5},
+		{"BucketCollect", m.BucketCollect(p, n, 1), 7*3 + f*n*5},
+		{"BucketReduceScatter", m.BucketReduceScatter(p, n, 1), 7*3 + f*n*(5+7)},
+		{"LongBcast", m.LongBcast(p, n, 1), (3+7)*3 + 2*f*n*5},
+		{"LongAllReduce", m.LongAllReduce(p, n, 1), 2*7*3 + 2*f*n*5 + f*n*7},
+		{"ShortAllReduce", m.ShortAllReduce(p, n, 1), 2*3*3 + 2*3*n*5 + 3*n*7},
+		{"p=1 scatter", m.MSTScatter(1, n, 1), 0},
+		{"p=1 collect", m.BucketCollect(1, n, 1), 0},
+	}
+	for _, c := range cases {
+		if math.Abs(c.got-c.want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestConflictExcess checks §7.1's excess-bandwidth rule: a conflict among
+// c messages costs max(1, c/LinkExcess).
+func TestConflictExcess(t *testing.T) {
+	m := Machine{Alpha: 1, Beta: 1, LinkExcess: 2}
+	cases := []struct {
+		c    int
+		want float64
+	}{{1, 1}, {2, 1}, {3, 1.5}, {4, 2}, {8, 4}}
+	for _, c := range cases {
+		if got := m.Conflict(c.c); got != c.want {
+			t.Errorf("Conflict(%d) with excess 2 = %v, want %v", c.c, got, c.want)
+		}
+	}
+}
+
+// TestPlannerEnvelope checks that the planner's choice is never worse than
+// the canonical endpoints (pure MST, pure bucket) and improves on both
+// somewhere in the middle of the length range for broadcast on 30 nodes —
+// the phenomenon Fig. 2 illustrates.
+func TestPlannerEnvelope(t *testing.T) {
+	mach := ParagonLike()
+	mach.LinkExcess = 1
+	mach.StepOverhead = 0
+	pl := NewPlanner(mach)
+	l := group.Linear(30)
+	beatBoth := false
+	for _, n := range []int{8, 64, 1024, 16384, 65536, 131072, 1 << 20, 1 << 22} {
+		_, best := pl.Best(Bcast, l, n)
+		mst := mach.Cost(Bcast, MSTShape(l), float64(n))
+		bucket := mach.Cost(Bcast, BucketShape(l), float64(n))
+		if best > mst+1e-12 || best > bucket+1e-12 {
+			t.Errorf("n=%d: planner cost %.6g worse than MST %.6g or bucket %.6g", n, best, mst, bucket)
+		}
+		if best < mst-1e-12 && best < bucket-1e-12 {
+			beatBoth = true
+		}
+	}
+	if !beatBoth {
+		t.Errorf("planner never strictly beat both endpoints; hybrids should win at medium lengths")
+	}
+}
+
+// TestPlannerMatchesExhaustive verifies Best against brute force over the
+// same candidate set for a few layouts and lengths.
+func TestPlannerMatchesExhaustive(t *testing.T) {
+	mach := ParagonLike()
+	pl := NewPlanner(mach)
+	layouts := []group.Layout{group.Linear(12), group.Linear(30), group.Mesh2D(4, 6)}
+	for _, l := range layouts {
+		for _, n := range []int{8, 4096, 1 << 20} {
+			for _, c := range Collectives() {
+				external := c == Scatter || c == Gather || c == Collect || c == ReduceScatter
+				_, best := pl.Best(c, l, n)
+				min := math.Inf(1)
+				for _, base := range EnumerateShapes(l, 4) {
+					if external && !StrideDescending(base.Dims) {
+						continue
+					}
+					for sf := 0; sf <= len(base.Dims); sf++ {
+						v := mach.Cost(c, Shape{Dims: base.Dims, ShortFrom: sf}, float64(n))
+						if v < min {
+							min = v
+						}
+					}
+				}
+				if math.Abs(best-min) > 1e-12*math.Max(1, min) {
+					t.Errorf("%v %v n=%d: Best=%.9g, exhaustive=%.9g", l, c, n, best, min)
+				}
+			}
+		}
+	}
+}
+
+// TestEnumerateShapesCoversTable2 checks the planner's candidate set
+// includes every hybrid the paper tabulates for a 30-node linear array.
+func TestEnumerateShapesCoversTable2(t *testing.T) {
+	shapes := EnumerateShapes(group.Linear(30), 4)
+	want := []string{"30", "2x15", "15x2", "3x10", "10x3", "5x6", "6x5", "2x3x5", "5x3x2", "2x5x3"}
+	for _, w := range want {
+		found := false
+		for _, s := range shapes {
+			if s.Mesh() == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("mesh %s missing from enumeration", w)
+		}
+	}
+	// Every shape spans exactly 30 nodes with consistent strides.
+	for _, s := range shapes {
+		if err := s.Validate(30); err != nil {
+			t.Errorf("%v: %v", s, err)
+		}
+	}
+}
+
+// TestMeshShapes checks the physical-mesh refinements of §7.1: bucket
+// stages within rows and columns have conflict 1 and (r+c-2)α latency.
+func TestMeshShapes(t *testing.T) {
+	l := group.Mesh2D(16, 32)
+	bs := BucketShape(l)
+	if len(bs.Dims) != 2 || bs.Dims[0].Size != 32 || bs.Dims[1].Size != 16 {
+		t.Fatalf("BucketShape(16x32) dims = %+v", bs.Dims)
+	}
+	for _, d := range bs.Dims {
+		if d.Conflict != 1 {
+			t.Errorf("whole row/column conflict = %d, want 1", d.Conflict)
+		}
+	}
+	m := Machine{Alpha: 1, Beta: 0, Gamma: 0, LinkExcess: 1}
+	if got := m.Cost(Collect, bs, 1); got != 46 { // (32-1)+(16-1) = r+c-2
+		t.Errorf("mesh bucket collect latency = %vα, want 46α", got)
+	}
+	ms := MSTShape(l)
+	if got := m.Cost(Bcast, ms, 0); got != 9 { // ⌈log 32⌉+⌈log 16⌉
+		t.Errorf("mesh MST broadcast latency = %vα, want 9α", got)
+	}
+}
+
+// TestParagonLikeValid sanity-checks the presets.
+func TestParagonLikeValid(t *testing.T) {
+	for _, m := range []Machine{ParagonLike(), DeltaLike()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("preset invalid: %v", err)
+		}
+	}
+	bad := Machine{Alpha: -1, Beta: 1, LinkExcess: 1}
+	if bad.Validate() == nil {
+		t.Errorf("negative α accepted")
+	}
+	bad = Machine{Alpha: 1, Beta: 1, LinkExcess: 0.5}
+	if bad.Validate() == nil {
+		t.Errorf("LinkExcess < 1 accepted")
+	}
+}
+
+// TestCollectiveMeta covers the enum helpers.
+func TestCollectiveMeta(t *testing.T) {
+	if len(Collectives()) != 7 {
+		t.Fatalf("want 7 collectives (Table 1)")
+	}
+	combines := map[Collective]bool{Reduce: true, ReduceScatter: true, AllReduce: true}
+	rooted := map[Collective]bool{Bcast: true, Reduce: true, Scatter: true, Gather: true}
+	for _, c := range Collectives() {
+		if c.Combines() != combines[c] {
+			t.Errorf("%v.Combines() = %v", c, c.Combines())
+		}
+		if c.Rooted() != rooted[c] {
+			t.Errorf("%v.Rooted() = %v", c, c.Rooted())
+		}
+		if c.String() == "" {
+			t.Errorf("empty name for %d", int(c))
+		}
+	}
+}

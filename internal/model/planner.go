@@ -1,0 +1,223 @@
+package model
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/group"
+)
+
+// The planner realizes §7.1's conclusion: given good short- and long-vector
+// primitives "as well as an accurate model for their expense as a function
+// of message length and number of interleaving subgroups", very good
+// hybrids can be chosen automatically. It enumerates candidate shapes —
+// every way of carving the physical dimensions into ordered factor chains,
+// every interleaving of those chains, every switch-point to the short
+// algorithm — and picks the one the model says is cheapest for the given
+// vector length.
+
+// Planner chooses hybrid shapes for collectives on a machine. It is safe
+// for concurrent use; shape enumerations are cached per layout.
+type Planner struct {
+	mach Machine
+	// maxFactors caps the number of logical dimensions carved from one
+	// physical dimension, bounding the enumeration.
+	maxFactors int
+
+	mu    sync.Mutex
+	cache map[string][]Shape
+}
+
+// NewPlanner returns a planner for machine m. Factor chains are capped at
+// four logical dimensions per physical dimension, which covers every hybrid
+// the paper discusses while keeping enumeration small.
+func NewPlanner(m Machine) *Planner {
+	return &Planner{mach: m, maxFactors: 4, cache: make(map[string][]Shape)}
+}
+
+// Machine returns the machine model the planner costs shapes with.
+func (pl *Planner) Machine() Machine { return pl.mach }
+
+// Shapes enumerates the candidate shapes for a layout, ShortFrom left at
+// zero (Best fills it in). The slice is shared; callers must not modify it.
+func (pl *Planner) Shapes(l group.Layout) []Shape {
+	key := l.String()
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if s, ok := pl.cache[key]; ok {
+		return s
+	}
+	s := EnumerateShapes(l, pl.maxFactors)
+	pl.cache[key] = s
+	return s
+}
+
+// Best returns the cheapest shape for collective c over layout l with an
+// n-byte vector, together with its modelled cost. Ties break toward fewer
+// dimensions and then lexicographically smaller meshes, so the choice is
+// deterministic. For the externally partitioned collectives (scatter,
+// gather, collect, reduce-scatter) only stride-descending dimension orders
+// are considered, since those are the orders the executor can realize with
+// index-contiguous blocks.
+func (pl *Planner) Best(c Collective, l group.Layout, n int) (Shape, float64) {
+	external := c == Scatter || c == Gather || c == Collect || c == ReduceScatter
+	var best Shape
+	bestCost := -1.0
+	for _, base := range pl.Shapes(l) {
+		if external && !StrideDescending(base.Dims) {
+			continue
+		}
+		for sf := 0; sf <= len(base.Dims); sf++ {
+			s := Shape{Dims: base.Dims, ShortFrom: sf}
+			t := pl.mach.Cost(c, s, float64(n))
+			if bestCost < 0 || t < bestCost-1e-15 || (almostEqual(t, bestCost) && simpler(s, best)) {
+				best, bestCost = s, t
+			}
+		}
+	}
+	return best, bestCost
+}
+
+func almostEqual(a, b float64) bool {
+	d := a - b
+	return d < 1e-15 && d > -1e-15
+}
+
+// simpler orders shapes for deterministic tie-breaking.
+func simpler(a, b Shape) bool {
+	if len(a.Dims) != len(b.Dims) {
+		return len(a.Dims) < len(b.Dims)
+	}
+	for i := range a.Dims {
+		if a.Dims[i].Size != b.Dims[i].Size {
+			return a.Dims[i].Size < b.Dims[i].Size
+		}
+	}
+	return a.ShortFrom > b.ShortFrom
+}
+
+// EnumerateShapes lists every candidate logical mesh over the physical
+// layout: each physical dimension is factored into an ordered chain of
+// logical dimensions (at most maxFactors long), chains are interleaved in
+// every order, and conflict factors are the intra-physical-dimension
+// strides, exactly the accounting that reproduces Table 2. Dimensions of
+// size 1 are dropped (a 1×30 view is the same algorithm as a plain 30).
+// The result is sorted by dimension count then mesh for determinism.
+func EnumerateShapes(l group.Layout, maxFactors int) []Shape {
+	if l.P() == 1 {
+		return []Shape{{Dims: []Dim{{Size: 1, Stride: 1, Conflict: 1}}}}
+	}
+	// Factor chains per physical dimension, with strides and conflicts.
+	chains := make([][][]Dim, 0, len(l.Extents))
+	for d, ext := range l.Extents {
+		physStride := l.Stride(d)
+		var cs [][]Dim
+		for _, fs := range group.OrderedFactorizations(ext, maxFactors) {
+			chain := make([]Dim, 0, len(fs))
+			intra := 1
+			for _, f := range fs {
+				chain = append(chain, Dim{Size: f, Stride: physStride * intra, Conflict: intra})
+				intra *= f
+			}
+			cs = append(cs, chain)
+		}
+		if len(cs) == 0 { // extent 1: contributes nothing
+			cs = [][]Dim{{}}
+		}
+		chains = append(chains, cs)
+	}
+	// Cross-product of chain choices, then all interleavings.
+	var shapes []Shape
+	var pick func(d int, chosen [][]Dim)
+	pick = func(d int, chosen [][]Dim) {
+		if d == len(chains) {
+			interleave(chosen, nil, &shapes)
+			return
+		}
+		for _, c := range chains[d] {
+			pick(d+1, append(chosen, c))
+		}
+	}
+	pick(0, nil)
+	sort.Slice(shapes, func(i, j int) bool {
+		a, b := shapes[i], shapes[j]
+		if len(a.Dims) != len(b.Dims) {
+			return len(a.Dims) < len(b.Dims)
+		}
+		for k := range a.Dims {
+			if a.Dims[k].Size != b.Dims[k].Size {
+				return a.Dims[k].Size < b.Dims[k].Size
+			}
+			if a.Dims[k].Stride != b.Dims[k].Stride {
+				return a.Dims[k].Stride < b.Dims[k].Stride
+			}
+		}
+		return false
+	})
+	return shapes
+}
+
+// interleave appends to out every merge of the given chains that preserves
+// each chain's internal order.
+func interleave(chains [][]Dim, prefix []Dim, out *[]Shape) {
+	done := true
+	for i, c := range chains {
+		if len(c) == 0 {
+			continue
+		}
+		done = false
+		next := make([][]Dim, len(chains))
+		copy(next, chains)
+		next[i] = c[1:]
+		interleave(next, append(prefix, c[0]), out)
+	}
+	if done {
+		dims := make([]Dim, len(prefix))
+		copy(dims, prefix)
+		if len(dims) == 0 {
+			dims = []Dim{{Size: 1, Stride: 1, Conflict: 1}}
+		}
+		*out = append(*out, Shape{Dims: dims})
+	}
+}
+
+// StrideDescending reports whether dims run from the largest stride to the
+// smallest — the canonical order for externally partitioned collectives.
+func StrideDescending(dims []Dim) bool {
+	for i := 1; i < len(dims); i++ {
+		if dims[i].Stride > dims[i-1].Stride {
+			return false
+		}
+	}
+	return true
+}
+
+// MSTShape is the pure short-vector shape for a layout: one logical
+// dimension per physical dimension, all short. For a 2-D mesh this is the
+// "staged per dimension" MST of §4.1.
+func MSTShape(l group.Layout) Shape {
+	dims := physDims(l)
+	return Shape{Dims: dims, ShortFrom: 0}
+}
+
+// BucketShape is the pure long-vector shape: one logical dimension per
+// physical dimension, all long. For a 2-D mesh its bucket stages run within
+// physical rows and columns, realizing §7.1's (r+c-2)α latency.
+func BucketShape(l group.Layout) Shape {
+	dims := physDims(l)
+	return Shape{Dims: dims, ShortFrom: len(dims)}
+}
+
+func physDims(l group.Layout) []Dim {
+	var dims []Dim
+	for d, ext := range l.Extents {
+		if ext == 1 && len(l.Extents) > 1 {
+			continue
+		}
+		dims = append(dims, Dim{Size: ext, Stride: l.Stride(d), Conflict: 1})
+	}
+	if len(dims) == 0 {
+		dims = []Dim{{Size: 1, Stride: 1, Conflict: 1}}
+	}
+	return dims
+}

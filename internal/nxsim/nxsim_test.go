@@ -1,0 +1,163 @@
+package nxsim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/chantransport"
+	"repro/internal/datatype"
+	"repro/internal/model"
+	"repro/internal/simnet"
+)
+
+func runWorld(t *testing.T, p int, fn func(nx *NX, rank int) error) {
+	t.Helper()
+	w := chantransport.NewWorld(p, chantransport.WithRecvTimeout(20*time.Second))
+	cfg := Config{MsgOverhead: 0, CopyFactor: 0, Beta: 1}
+	if err := w.Run(func(ep *chantransport.Endpoint) error {
+		return fn(New(ep, cfg), ep.Rank())
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNXBcastCorrect: the binomial broadcast delivers the root's bytes for
+// power-of-two and ragged world sizes and every root.
+func TestNXBcastCorrect(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 13, 16} {
+		for _, root := range []int{0, p / 2, p - 1} {
+			p, root := p, root
+			t.Run(fmt.Sprintf("p%d/root%d", p, root), func(t *testing.T) {
+				want := []byte{1, 9, 8, 7, 6, 5}
+				runWorld(t, p, func(nx *NX, rank int) error {
+					buf := make([]byte, 6)
+					if rank == root {
+						copy(buf, want)
+					}
+					if err := nx.Bcast(buf, 6, root); err != nil {
+						return err
+					}
+					if !bytes.Equal(buf, want) {
+						return fmt.Errorf("rank %d: %v", rank, buf)
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
+// TestNXGlobalSumCorrect: exact int64 sums on ragged sizes.
+func TestNXGlobalSumCorrect(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 6, 7, 8} {
+		p := p
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			const count = 5
+			runWorld(t, p, func(nx *NX, rank int) error {
+				in := make([]int64, count)
+				for i := range in {
+					in[i] = int64(rank*100 + i)
+				}
+				buf := make([]byte, count*8)
+				tmp := make([]byte, count*8)
+				datatype.PutInt64s(buf, in)
+				if err := nx.GlobalSum(buf, tmp, count, datatype.Int64, datatype.Sum); err != nil {
+					return err
+				}
+				got := datatype.Int64s(buf)
+				for i := range got {
+					var want int64
+					for r := 0; r < p; r++ {
+						want += int64(r*100 + i)
+					}
+					if got[i] != want {
+						return fmt.Errorf("rank %d: elem %d = %d, want %d", rank, i, got[i], want)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestNXCollectCorrect: concatenation with ragged segment sizes.
+func TestNXCollectCorrect(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		p := p
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			offs := make([]int, p+1)
+			for i := 0; i < p; i++ {
+				offs[i+1] = offs[i] + 1 + i%3
+			}
+			runWorld(t, p, func(nx *NX, rank int) error {
+				buf := make([]byte, offs[p])
+				for i := offs[rank]; i < offs[rank+1]; i++ {
+					buf[i] = byte(rank + 1)
+				}
+				if err := nx.Collect(buf, offs); err != nil {
+					return err
+				}
+				for r := 0; r < p; r++ {
+					for i := offs[r]; i < offs[r+1]; i++ {
+						if buf[i] != byte(r+1) {
+							return fmt.Errorf("rank %d: segment %d corrupt", rank, r)
+						}
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestNXOverheadCharged: the software model inflates simulated time
+// relative to a bare binomial tree.
+func TestNXOverheadCharged(t *testing.T) {
+	mach := model.Machine{Alpha: 10, Beta: 1, Gamma: 0, LinkExcess: 1}
+	run := func(cfg Config) float64 {
+		res, err := simnet.Run(simnet.Config{Rows: 1, Cols: 8, Machine: mach},
+			func(ep *simnet.Endpoint) error {
+				return New(ep, cfg).Bcast(nil, 100, 0)
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	bare := run(Config{Beta: mach.Beta})
+	if bare != 3*(10+100) {
+		t.Errorf("bare NX binomial on 8 = %v, want %v", bare, 3*(10+100))
+	}
+	heavy := run(Config{MsgOverhead: 5, CopyFactor: 1, Beta: mach.Beta})
+	if heavy <= bare+3*5 {
+		t.Errorf("overheads not charged: %v vs bare %v", heavy, bare)
+	}
+}
+
+// TestNXSlowerThanInterComOnMesh is deferred to the harness tests, which
+// compare full algorithm suites; here we only pin the baseline's own
+// semantics.
+func TestNXTagNamespacing(t *testing.T) {
+	// Two successive NX collectives on the same endpoints must not collide.
+	runWorld(t, 4, func(nx *NX, rank int) error {
+		buf := make([]byte, 4)
+		if rank == 0 {
+			copy(buf, []byte{1, 2, 3, 4})
+		}
+		if err := nx.Bcast(buf, 4, 0); err != nil {
+			return err
+		}
+		if rank == 1 {
+			copy(buf, []byte{9, 9, 9, 9})
+		}
+		if err := nx.Bcast(buf, 4, 1); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, []byte{9, 9, 9, 9}) {
+			return fmt.Errorf("rank %d: second bcast wrong: %v", rank, buf)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,139 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// Tests pinning the flow engine's max-min fair bandwidth sharing — the
+// mechanism behind every network-conflict number in the experiments.
+
+// TestMaxMinAsymmetric: three flows, one bottleneck. Flows A (0→3) and
+// B (1→3)… receivers serialize, so instead use distinct destinations:
+// A: 0→2, B: 1→3 share east(0,1)–east(1,2)? On a 1×6 array:
+// A: 0→5 (east links 0..4), B: 1→2 (east link 1), C: 3→4 (east link 3).
+// With LinkExcess 1: links 1 and 3 each carry two flows → A is bottlenecked
+// to rate ½ everywhere; B and C then get the other ½ of their links (not
+// more, since their injection ports allow 1 but max-min gives them ½+…).
+// Progressive filling: link1 share ½ freezes A and B at ½; link3 then has
+// residual ½ for C alone… C's links: inject(3), east3, eject(4): east3
+// residual after A's ½ is ½ → C = ½.
+func TestMaxMinAsymmetric(t *testing.T) {
+	m := model.Machine{Alpha: 10, Beta: 1, Gamma: 0, LinkExcess: 1}
+	const n = 100
+	res, err := Run(Config{Rows: 1, Cols: 6, Machine: m, CarryData: true}, func(ep *Endpoint) error {
+		buf := make([]byte, n)
+		switch ep.Rank() {
+		case 0:
+			return ep.Send(5, 1, buf)
+		case 1:
+			return ep.Send(2, 2, buf)
+		case 3:
+			return ep.Send(4, 3, buf)
+		case 5:
+			_, err := ep.Recv(0, 1, buf)
+			return err
+		case 2:
+			_, err := ep.Recv(1, 2, buf)
+			return err
+		default:
+			_, err := ep.Recv(3, 3, buf)
+			return err
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three flows run at rate ½: completion at α + 2nβ.
+	if want := 10 + 2.0*n; math.Abs(res.Time-want) > 1e-9 {
+		t.Errorf("asymmetric sharing: %v, want %v", res.Time, want)
+	}
+}
+
+// TestMaxMinReleasedBandwidth: when a short flow finishes, the long flow
+// sharing its link speeds up — rates are recomputed at events. A: 0→2
+// sends 300 bytes, B: 1→2? receiver conflict again; use B: 1→3 crossing
+// A's east(1,2)? A: 0→2 uses east0, east1; B: 1→3 uses east1, east2 —
+// shared east1. A sends 100, B sends 300, same start: both at ½ until A
+// finishes at α+200; B then has 200 bytes left at rate 1 → α+400 total.
+func TestMaxMinReleasedBandwidth(t *testing.T) {
+	m := model.Machine{Alpha: 10, Beta: 1, Gamma: 0, LinkExcess: 1}
+	res, err := Run(Config{Rows: 1, Cols: 4, Machine: m, CarryData: true}, func(ep *Endpoint) error {
+		switch ep.Rank() {
+		case 0:
+			return ep.Send(2, 1, make([]byte, 100))
+		case 1:
+			return ep.Send(3, 2, make([]byte, 300))
+		case 2:
+			_, err := ep.Recv(0, 1, make([]byte, 100))
+			return err
+		default:
+			_, err := ep.Recv(1, 2, make([]byte, 300))
+			return err
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 10 + 400.0; math.Abs(res.Time-want) > 1e-9 {
+		t.Errorf("released bandwidth: %v, want %v", res.Time, want)
+	}
+}
+
+// TestLinkExcessPartial: with LinkExcess 1.5, two flows on one mesh link
+// each get ¾ of injection bandwidth (1.5/2), not ½ and not 1.
+func TestLinkExcessPartial(t *testing.T) {
+	m := model.Machine{Alpha: 10, Beta: 1, Gamma: 0, LinkExcess: 1.5}
+	const n = 300
+	res, err := Run(Config{Rows: 1, Cols: 4, Machine: m, CarryData: true}, func(ep *Endpoint) error {
+		buf := make([]byte, n)
+		switch ep.Rank() {
+		case 0:
+			return ep.Send(2, 1, buf)
+		case 1:
+			return ep.Send(3, 2, buf)
+		case 2:
+			_, err := ep.Recv(0, 1, buf)
+			return err
+		default:
+			_, err := ep.Recv(1, 2, buf)
+			return err
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 10 + n/0.75; math.Abs(res.Time-want) > 1e-9 {
+		t.Errorf("partial excess: %v, want %v", res.Time, want)
+	}
+}
+
+// TestStatsFields: message and byte accounting.
+func TestStatsFields(t *testing.T) {
+	m := model.Machine{Alpha: 1, Beta: 1, Gamma: 0, LinkExcess: 1}
+	res, err := Run(Config{Rows: 1, Cols: 2, Machine: m, CarryData: true}, func(ep *Endpoint) error {
+		if ep.Rank() == 0 {
+			if err := ep.Send(1, 1, make([]byte, 10)); err != nil {
+				return err
+			}
+			return ep.Send(1, 2, make([]byte, 20))
+		}
+		buf := make([]byte, 20)
+		if _, err := ep.Recv(0, 1, buf); err != nil {
+			return err
+		}
+		_, err := ep.Recv(0, 2, buf)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 2 || res.BytesMoved != 30 {
+		t.Errorf("stats: %d messages, %v bytes; want 2, 30", res.Messages, res.BytesMoved)
+	}
+	if len(res.NodeTimes) != 2 || res.NodeTimes[1] != res.Time {
+		t.Errorf("node times %v (total %v)", res.NodeTimes, res.Time)
+	}
+}

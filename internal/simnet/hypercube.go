@@ -1,0 +1,49 @@
+package simnet
+
+// Hypercube topology support. The paper's iPSC/860 version of InterCom
+// (§11) "uses algorithms more appropriate for hypercubes (including the
+// EDST broadcast)"; to evaluate those algorithms on their native machine
+// the simulator can model a d-dimensional hypercube instead of a 2-D mesh:
+// every node has d bidirectional cube links (modelled as 2d directed
+// channels) and messages route dimension-ordered, fixing address bits from
+// least to most significant.
+
+// cubeTopology is a d-dimensional hypercube of n = 2^d nodes.
+type cubeTopology struct {
+	n, d int
+}
+
+func newCubeTopology(n int) cubeTopology {
+	d := 0
+	for 1<<d < n {
+		d++
+	}
+	return cubeTopology{n: n, d: d}
+}
+
+func (t cubeTopology) nodes() int { return t.n }
+
+// numLinks: injection and ejection per node plus one directed channel per
+// node per dimension (node → node^2^j).
+func (t cubeTopology) numLinks() int { return 2*t.n + t.n*t.d }
+
+func (t cubeTopology) inject(node int) int { return node }
+func (t cubeTopology) eject(node int) int  { return t.n + node }
+
+// edge is the directed channel node → node^2^dim.
+func (t cubeTopology) edge(node, dim int) int { return 2*t.n + node*t.d + dim }
+
+func (t cubeTopology) isMeshLink(id int) bool { return id >= 2*t.n }
+
+// path routes dimension-ordered: fix differing bits from dimension 0 up.
+func (t cubeTopology) path(src, dst int) []int {
+	p := []int{t.inject(src)}
+	cur := src
+	for j := 0; j < t.d; j++ {
+		if (cur^dst)&(1<<j) != 0 {
+			p = append(p, t.edge(cur, j))
+			cur ^= 1 << j
+		}
+	}
+	return append(p, t.eject(dst))
+}

@@ -1,0 +1,225 @@
+// Package simnet is a discrete-event simulator of a two-dimensional
+// wormhole-routed mesh — the paper's target architecture (§2) — standing in
+// for the 512-node Intel Paragon we do not have. It implements the
+// transport.Endpoint interface, so the same collective algorithm code that
+// runs over channels and sockets also runs here, in virtual time:
+//
+//   - point-to-point messages cost α + nβ seconds;
+//   - a node sends to at most one node and receives from at most one node
+//     at a time, but can do both simultaneously;
+//   - messages sharing a physical link share its bandwidth (max-min fairly),
+//     with mesh links carrying LinkExcess× the node-injection bandwidth
+//     (§7.1's "excess of bandwidth on each link");
+//   - combine arithmetic costs γ per byte, charged via transport.Elapse.
+//
+// The simulator detects communication deadlocks and reports every blocked
+// operation, and can inject deterministic per-message latency noise to
+// model the operating-system timing irregularities of §8.
+package simnet
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/model"
+	"repro/internal/transport"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// Rows and Cols give the physical mesh extents; node (r, c) has rank
+	// r*Cols + c. A linear array is 1×p.
+	Rows, Cols int
+	// Hypercube switches the interconnect to a d-dimensional hypercube of
+	// Rows×Cols nodes (which must be a power of two) with
+	// dimension-ordered routing — the iPSC/860-style machine of §11.
+	Hypercube bool
+	// Machine supplies α, β, γ and LinkExcess.
+	Machine model.Machine
+	// CarryData selects whether payload bytes are actually transported.
+	// Correctness tests set it; large performance experiments leave it
+	// false so that simulating a megabyte broadcast on 512 nodes does not
+	// cost real memory bandwidth. Collectives consult
+	// transport.CarriesData and skip payload work in timing-only mode
+	// while still charging γ.
+	CarryData bool
+	// NoiseAmp, when positive, adds a deterministic pseudo-random extra
+	// startup latency in [0, NoiseAmp) seconds to every message,
+	// modelling OS timing irregularity (§8). NoiseSeed selects the
+	// sequence.
+	NoiseAmp  float64
+	NoiseSeed int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Rows < 1 || c.Cols < 1 {
+		return fmt.Errorf("simnet: mesh %dx%d invalid", c.Rows, c.Cols)
+	}
+	if c.Hypercube {
+		n := c.Rows * c.Cols
+		if n&(n-1) != 0 {
+			return fmt.Errorf("simnet: hypercube needs a power-of-two node count, got %d", n)
+		}
+	}
+	return c.Machine.Validate()
+}
+
+// Result reports aggregate statistics of a simulation run.
+type Result struct {
+	// Time is the virtual completion time in seconds: the maximum node
+	// clock when the last node finished.
+	Time float64
+	// NodeTimes holds each node's final virtual clock.
+	NodeTimes []float64
+	// Messages counts matched point-to-point messages.
+	Messages int64
+	// BytesMoved sums delivered payload lengths.
+	BytesMoved float64
+}
+
+// Run simulates fn on every node of the configured mesh and returns
+// aggregate statistics. fn runs once per node (SPMD); its endpoint carries
+// virtual time. The returned error is the first node error by rank, or a
+// deadlock diagnosis.
+func Run(cfg Config, fn func(ep *Endpoint) error) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	e := newEngine(cfg)
+	for _, p := range e.procs {
+		p := p
+		ep := &Endpoint{e: e, proc: p}
+		go func() {
+			<-p.resume
+			defer func() {
+				if r := recover(); r != nil {
+					p.err = fmt.Errorf("simnet: node %d panicked: %v\n%s", p.id, r, debug.Stack())
+				}
+				p.exited = true
+				e.yield <- struct{}{}
+			}()
+			p.err = fn(ep)
+		}()
+	}
+	runErr := e.run()
+	res := Result{
+		NodeTimes:  make([]float64, len(e.procs)),
+		Messages:   e.messages,
+		BytesMoved: e.moved,
+	}
+	for i, p := range e.procs {
+		res.NodeTimes[i] = p.clock
+		if p.clock > res.Time {
+			res.Time = p.clock
+		}
+	}
+	var firstErr error
+	for _, p := range e.procs {
+		if p.err != nil {
+			firstErr = fmt.Errorf("simnet: node %d: %w", p.id, p.err)
+			break
+		}
+	}
+	if firstErr == nil {
+		firstErr = runErr
+	}
+	return res, firstErr
+}
+
+// Endpoint is one simulated node's transport handle. It implements
+// transport.Endpoint and transport.Clock.
+type Endpoint struct {
+	e    *engine
+	proc *proc
+}
+
+var (
+	_ transport.Endpoint    = (*Endpoint)(nil)
+	_ transport.Clock       = (*Endpoint)(nil)
+	_ transport.DataCarrier = (*Endpoint)(nil)
+)
+
+// Rank returns the node id (row*Cols + col).
+func (ep *Endpoint) Rank() int { return ep.proc.id }
+
+// Size returns the number of nodes in the mesh.
+func (ep *Endpoint) Size() int { return ep.e.topo.nodes() }
+
+// Machine returns the simulated machine's parameters, letting the
+// collective layer plan with the same model the network obeys.
+func (ep *Endpoint) Machine() model.Machine { return ep.e.cfg.Machine }
+
+// CarriesData reports whether payload bytes are transported (Config.CarryData).
+func (ep *Endpoint) CarriesData() bool { return ep.e.cfg.CarryData }
+
+// Now returns this node's local virtual time in seconds.
+func (ep *Endpoint) Now() float64 { return ep.proc.clock }
+
+// Elapse advances this node's local virtual clock, modelling computation.
+func (ep *Endpoint) Elapse(seconds float64) {
+	if seconds > 0 {
+		ep.proc.clock += seconds
+	}
+}
+
+// Send transmits p to rank to, blocking (in virtual time) until delivery
+// completes — the synchronous semantics under which the paper's cost
+// formulas are derived.
+func (ep *Endpoint) Send(to int, tag transport.Tag, p []byte) error {
+	if err := transport.CheckPeer(ep.proc.id, ep.e.topo.nodes(), to); err != nil {
+		return err
+	}
+	o := &op{kind: opSend, proc: ep.proc, peer: to, tag: tag, size: len(p), postAt: ep.proc.clock}
+	if ep.e.cfg.CarryData {
+		o.data = append([]byte(nil), p...)
+	}
+	ep.e.postOps(ep.proc, o)
+	return o.err
+}
+
+// Recv receives from rank from into p, blocking in virtual time.
+func (ep *Endpoint) Recv(from int, tag transport.Tag, p []byte) (int, error) {
+	if err := transport.CheckPeer(ep.proc.id, ep.e.topo.nodes(), from); err != nil {
+		return 0, err
+	}
+	o := &op{kind: opRecv, proc: ep.proc, peer: from, tag: tag, size: len(p), postAt: ep.proc.clock}
+	if ep.e.cfg.CarryData {
+		o.data = p
+	}
+	ep.e.postOps(ep.proc, o)
+	if o.err != nil {
+		return 0, o.err
+	}
+	return o.size, nil
+}
+
+// SendRecv posts the send and the receive simultaneously and blocks until
+// both complete, exploiting the machine's ability to send and receive at
+// the same time (§2) — the operation every bucket (ring) primitive is
+// built on.
+func (ep *Endpoint) SendRecv(to int, stag transport.Tag, sp []byte, from int, rtag transport.Tag, rp []byte) (int, error) {
+	if err := transport.CheckPeer(ep.proc.id, ep.e.topo.nodes(), to); err != nil {
+		return 0, err
+	}
+	if err := transport.CheckPeer(ep.proc.id, ep.e.topo.nodes(), from); err != nil {
+		return 0, err
+	}
+	so := &op{kind: opSend, proc: ep.proc, peer: to, tag: stag, size: len(sp), postAt: ep.proc.clock}
+	ro := &op{kind: opRecv, proc: ep.proc, peer: from, tag: rtag, size: len(rp), postAt: ep.proc.clock}
+	if ep.e.cfg.CarryData {
+		so.data = append([]byte(nil), sp...)
+		ro.data = rp
+	}
+	ep.e.postOps(ep.proc, so, ro)
+	if ro.err != nil {
+		return 0, ro.err
+	}
+	if so.err != nil {
+		return 0, so.err
+	}
+	return ro.size, nil
+}
+
+// Close is a no-op for simulated endpoints; the run ends when fn returns.
+func (ep *Endpoint) Close() error { return nil }

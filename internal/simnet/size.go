@@ -1,0 +1,48 @@
+package simnet
+
+import "repro/internal/transport"
+
+var _ transport.SizeSender = (*Endpoint)(nil)
+
+// SendSize posts a payload-free n-byte send, used in timing-only mode.
+func (ep *Endpoint) SendSize(to int, tag transport.Tag, n int) error {
+	if err := transport.CheckPeer(ep.proc.id, ep.e.topo.nodes(), to); err != nil {
+		return err
+	}
+	o := &op{kind: opSend, proc: ep.proc, peer: to, tag: tag, size: n, postAt: ep.proc.clock}
+	ep.e.postOps(ep.proc, o)
+	return o.err
+}
+
+// RecvSize posts a payload-free receive with an n-byte virtual buffer.
+func (ep *Endpoint) RecvSize(from int, tag transport.Tag, n int) (int, error) {
+	if err := transport.CheckPeer(ep.proc.id, ep.e.topo.nodes(), from); err != nil {
+		return 0, err
+	}
+	o := &op{kind: opRecv, proc: ep.proc, peer: from, tag: tag, size: n, postAt: ep.proc.clock}
+	ep.e.postOps(ep.proc, o)
+	if o.err != nil {
+		return 0, o.err
+	}
+	return o.size, nil
+}
+
+// SendRecvSize posts a payload-free simultaneous exchange.
+func (ep *Endpoint) SendRecvSize(to int, stag transport.Tag, sn int, from int, rtag transport.Tag, rn int) (int, error) {
+	if err := transport.CheckPeer(ep.proc.id, ep.e.topo.nodes(), to); err != nil {
+		return 0, err
+	}
+	if err := transport.CheckPeer(ep.proc.id, ep.e.topo.nodes(), from); err != nil {
+		return 0, err
+	}
+	so := &op{kind: opSend, proc: ep.proc, peer: to, tag: stag, size: sn, postAt: ep.proc.clock}
+	ro := &op{kind: opRecv, proc: ep.proc, peer: from, tag: rtag, size: rn, postAt: ep.proc.clock}
+	ep.e.postOps(ep.proc, so, ro)
+	if ro.err != nil {
+		return 0, ro.err
+	}
+	if so.err != nil {
+		return 0, so.err
+	}
+	return ro.size, nil
+}

@@ -1,0 +1,97 @@
+package simnet
+
+// Topology: an R-row × C-column physical mesh with bidirectional links
+// modelled as two independent directed channels per neighbour pair (§2:
+// "bidirectional links between nodes"), plus one injection and one ejection
+// channel per node (§7.1: node-to-network bandwidth is the scarce resource;
+// mesh links carry LinkExcess times as much). Node (r, c) has id r·C + c.
+//
+// Routing is dimension-ordered XY wormhole routing: a message first travels
+// along its source row to the destination column, then along that column.
+// A wormhole message is modelled as occupying every link of its path
+// simultaneously for the whole transfer — with cut-through routing the
+// transfer rate is the minimum share available across the path and latency
+// is distance-independent, which is exactly the paper's α + nβ model.
+
+// netTopology abstracts the interconnect: the 2-D wormhole mesh of §2 or
+// the hypercube of §11. Only the engine's flow model depends on it.
+type netTopology interface {
+	// nodes returns the node count.
+	nodes() int
+	// numLinks returns the number of directed channels.
+	numLinks() int
+	// isMeshLink reports whether a channel is an interconnect channel (as
+	// opposed to injection/ejection), which determines its capacity.
+	isMeshLink(id int) bool
+	// path returns the directed channels a message occupies, including
+	// the source injection and destination ejection channels.
+	path(src, dst int) []int
+}
+
+type topology struct {
+	rows, cols int
+	n          int // rows*cols
+	hPairs     int // rows*(cols-1) horizontal neighbour pairs
+	vPairs     int // (rows-1)*cols vertical neighbour pairs
+}
+
+func newTopology(rows, cols int) topology {
+	return topology{
+		rows: rows, cols: cols, n: rows * cols,
+		hPairs: rows * (cols - 1),
+		vPairs: (rows - 1) * cols,
+	}
+}
+
+func (t topology) nodes() int { return t.n }
+
+// numLinks returns the total number of directed channels: injection and
+// ejection per node plus east/west/south/north mesh channels.
+func (t topology) numLinks() int { return 2*t.n + 2*t.hPairs + 2*t.vPairs }
+
+func (t topology) inject(node int) int { return node }
+func (t topology) eject(node int) int  { return t.n + node }
+
+// Directed mesh channel ids. east carries (r,c)→(r,c+1); west the reverse;
+// south carries (r,c)→(r+1,c); north the reverse.
+func (t topology) east(r, c int) int  { return 2*t.n + r*(t.cols-1) + c }
+func (t topology) west(r, c int) int  { return 2*t.n + t.hPairs + r*(t.cols-1) + c }
+func (t topology) south(r, c int) int { return 2*t.n + 2*t.hPairs + r*t.cols + c }
+func (t topology) north(r, c int) int { return 2*t.n + 2*t.hPairs + t.vPairs + r*t.cols + c }
+
+// isMeshLink reports whether link id is a mesh channel (as opposed to an
+// injection or ejection channel), which determines its capacity.
+func (t topology) isMeshLink(id int) bool { return id >= 2*t.n }
+
+// path returns the sequence of directed channels an XY-routed message from
+// src to dst occupies, including the source's injection channel and the
+// destination's ejection channel. A self-message occupies only the node's
+// injection and ejection channels (it still pays α + nβ through the local
+// interface, which matches how NX-style libraries behaved).
+func (t topology) path(src, dst int) []int {
+	r1, c1 := src/t.cols, src%t.cols
+	r2, c2 := dst/t.cols, dst%t.cols
+	p := make([]int, 0, 2+abs(c2-c1)+abs(r2-r1))
+	p = append(p, t.inject(src))
+	for c := c1; c < c2; c++ { // eastward along source row
+		p = append(p, t.east(r1, c))
+	}
+	for c := c1; c > c2; c-- { // westward along source row
+		p = append(p, t.west(r1, c-1))
+	}
+	for r := r1; r < r2; r++ { // southward along destination column
+		p = append(p, t.south(r, c2))
+	}
+	for r := r1; r > r2; r-- { // northward along destination column
+		p = append(p, t.north(r-1, c2))
+	}
+	p = append(p, t.eject(dst))
+	return p
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

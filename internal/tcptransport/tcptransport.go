@@ -1,0 +1,341 @@
+// Package tcptransport implements the transport.Endpoint interface over
+// TCP sockets: a full mesh of connections among p ranks, usable across
+// processes and hosts. It is the substrate a real deployment of the
+// library would use in place of the paper's NX point-to-point calls —
+// §11's observation that porting InterCom means swapping exactly this
+// layer.
+//
+// Wire protocol: after connecting, a dialer sends its 4-byte rank; every
+// subsequent message is a frame of 4-byte tag, 4-byte payload length, and
+// payload. Messages between a pair of ranks are FIFO (one TCP stream per
+// ordered pair direction is not needed — a single duplex connection per
+// pair preserves per-direction order).
+package tcptransport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+type message struct {
+	tag  transport.Tag
+	data []byte
+}
+
+// Endpoint is one rank's node in a TCP world. Safe for one collective at
+// a time, like every transport in this library; Send and Recv may run
+// concurrently (SendRecv).
+type Endpoint struct {
+	rank, size int
+	conns      []*conn        // indexed by peer rank; conns[rank] == nil
+	queues     []chan message // inbound, indexed by source rank
+	loopback   chan message   // self-messages
+	timeout    time.Duration  // optional receive timeout
+	closeOnce  sync.Once
+	closeErr   error
+}
+
+type conn struct {
+	c  net.Conn
+	wm sync.Mutex // serializes frame writes
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+const queueDepth = 64
+
+// Rank returns this endpoint's rank.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// Size returns the world size.
+func (e *Endpoint) Size() int { return e.size }
+
+// Send writes p as one frame to rank to.
+func (e *Endpoint) Send(to int, tag transport.Tag, p []byte) error {
+	if err := transport.CheckPeer(e.rank, e.size, to); err != nil {
+		return err
+	}
+	if to == e.rank {
+		data := make([]byte, len(p))
+		copy(data, p)
+		e.loopback <- message{tag: tag, data: data}
+		return nil
+	}
+	c := e.conns[to]
+	if c == nil {
+		return transport.ErrClosed
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(tag))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(p)))
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	if _, err := c.c.Write(hdr[:]); err != nil {
+		return fmt.Errorf("tcptransport: rank %d send to %d: %w", e.rank, to, err)
+	}
+	if len(p) > 0 {
+		if _, err := c.c.Write(p); err != nil {
+			return fmt.Errorf("tcptransport: rank %d send to %d: %w", e.rank, to, err)
+		}
+	}
+	return nil
+}
+
+// Recv reads the next message from rank from.
+func (e *Endpoint) Recv(from int, tag transport.Tag, p []byte) (int, error) {
+	if err := transport.CheckPeer(e.rank, e.size, from); err != nil {
+		return 0, err
+	}
+	q := e.loopback
+	if from != e.rank {
+		q = e.queues[from]
+	}
+	var m message
+	var ok bool
+	if e.timeout > 0 {
+		t := time.NewTimer(e.timeout)
+		defer t.Stop()
+		select {
+		case m, ok = <-q:
+		case <-t.C:
+			return 0, fmt.Errorf("tcptransport: rank %d: receive from %d timed out after %v", e.rank, from, e.timeout)
+		}
+	} else {
+		m, ok = <-q
+	}
+	if !ok {
+		return 0, fmt.Errorf("tcptransport: rank %d: connection from %d closed: %w", e.rank, from, transport.ErrClosed)
+	}
+	if m.tag != tag {
+		return 0, fmt.Errorf("%w: rank %d expected tag %#x from %d, got %#x",
+			transport.ErrTagMismatch, e.rank, uint32(tag), from, uint32(m.tag))
+	}
+	if len(m.data) > len(p) {
+		return 0, fmt.Errorf("%w: rank %d from %d: message %d bytes, buffer %d",
+			transport.ErrTruncate, e.rank, from, len(m.data), len(p))
+	}
+	copy(p, m.data)
+	return len(m.data), nil
+}
+
+// SendRecv sends and receives concurrently.
+func (e *Endpoint) SendRecv(to int, stag transport.Tag, sp []byte, from int, rtag transport.Tag, rp []byte) (int, error) {
+	errc := make(chan error, 1)
+	go func() { errc <- e.Send(to, stag, sp) }()
+	n, rerr := e.Recv(from, rtag, rp)
+	serr := <-errc
+	if rerr != nil {
+		return n, rerr
+	}
+	return n, serr
+}
+
+// Close shuts down every connection. Peers' pending receives fail.
+func (e *Endpoint) Close() error {
+	e.closeOnce.Do(func() {
+		for _, c := range e.conns {
+			if c != nil {
+				if err := c.c.Close(); err != nil && e.closeErr == nil {
+					e.closeErr = err
+				}
+			}
+		}
+	})
+	return e.closeErr
+}
+
+// reader pumps frames from one peer connection into its queue, closing the
+// queue on connection end.
+func (e *Endpoint) reader(from int, c net.Conn) {
+	defer close(e.queues[from])
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			return
+		}
+		tag := transport.Tag(binary.LittleEndian.Uint32(hdr[0:]))
+		n := binary.LittleEndian.Uint32(hdr[4:])
+		data := make([]byte, n)
+		if _, err := io.ReadFull(c, data); err != nil {
+			return
+		}
+		e.queues[from] <- message{tag: tag, data: data}
+	}
+}
+
+// Option configures world construction.
+type Option func(*config)
+
+type config struct {
+	timeout time.Duration
+}
+
+// WithRecvTimeout makes receives fail after d (deadlock safety in tests).
+func WithRecvTimeout(d time.Duration) Option {
+	return func(c *config) { c.timeout = d }
+}
+
+// NewLocalWorld wires p ranks over loopback TCP inside one process and
+// returns their endpoints. It is the single-process form of the transport,
+// used by tests and examples; multi-process deployments use Listen and
+// Connect directly.
+func NewLocalWorld(p int, opts ...Option) ([]*Endpoint, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	listeners := make([]net.Listener, p)
+	addrs := make([]string, p)
+	for i := 0; i < p; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("tcptransport: listen: %w", err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	eps := make([]*Endpoint, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eps[i], errs[i] = connect(i, p, listeners[i], addrs, cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("tcptransport: rank %d: %w", i, err)
+		}
+	}
+	return eps, nil
+}
+
+// Listen opens rank's listener on addr (host:port; use port 0 to let the
+// OS choose) for a multi-process world.
+func Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// Connect joins a world of len(addrs) ranks as the given rank, using the
+// provided listener (whose address must equal addrs[rank]). Every rank
+// dials all lower ranks and accepts from all higher ranks.
+func Connect(rank int, l net.Listener, addrs []string, opts ...Option) (*Endpoint, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return connect(rank, len(addrs), l, addrs, cfg)
+}
+
+func connect(rank, p int, l net.Listener, addrs []string, cfg config) (*Endpoint, error) {
+	e := &Endpoint{
+		rank: rank, size: p,
+		conns:    make([]*conn, p),
+		queues:   make([]chan message, p),
+		loopback: make(chan message, queueDepth),
+		timeout:  cfg.timeout,
+	}
+	for i := range e.queues {
+		if i != rank {
+			e.queues[i] = make(chan message, queueDepth)
+		}
+	}
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	// Accept from higher ranks.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; n < p-1-rank; n++ {
+			c, err := l.Accept()
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			var hello [4]byte
+			if _, err := io.ReadFull(c, hello[:]); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hello[:]))
+			if peer <= rank || peer >= p {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("bad hello rank %d", peer)
+				}
+				mu.Unlock()
+				return
+			}
+			e.conns[peer] = &conn{c: c}
+		}
+	}()
+	// Dial lower ranks.
+	for peer := 0; peer < rank; peer++ {
+		c, err := dialRetry(addrs[peer], 5*time.Second)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("dial %d: %w", peer, err)
+			}
+			mu.Unlock()
+			break
+		}
+		var hello [4]byte
+		binary.LittleEndian.PutUint32(hello[:], uint32(rank))
+		if _, err := c.Write(hello[:]); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			break
+		}
+		e.conns[peer] = &conn{c: c}
+	}
+	wg.Wait()
+	l.Close()
+	if firstErr != nil {
+		e.Close()
+		return nil, firstErr
+	}
+	for peer, c := range e.conns {
+		if c != nil {
+			go e.reader(peer, c.c)
+		}
+	}
+	return e, nil
+}
+
+// dialRetry dials until success or the deadline; peers may not be
+// listening yet during world bring-up.
+func dialRetry(addr string, deadline time.Duration) (net.Conn, error) {
+	var lastErr error
+	limit := time.Now().Add(deadline)
+	for time.Now().Before(limit) {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil, lastErr
+}

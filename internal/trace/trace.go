@@ -1,0 +1,178 @@
+// Package trace records the messages of a collective and reconstructs
+// which parts of the vector each node holds after each algorithm phase —
+// the view the paper's Fig. 1 draws for a broadcast hybrid on 12 nodes
+// (scatters within pairs, MST broadcasts within triples, collects within
+// pairs). It is also a debugging aid: any collective run over a traced
+// transport can be rendered step by step.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// Event is one recorded message.
+type Event struct {
+	Src, Dst int
+	Tag      transport.Tag
+	Payload  []byte // copy of the payload at send time
+}
+
+// Recorder collects events from any number of wrapped endpoints.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Events returns the recorded messages sorted by (phase, step, src) — a
+// deterministic order reflecting algorithm structure rather than goroutine
+// scheduling.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ev := append([]Event(nil), r.events...)
+	sort.SliceStable(ev, func(i, j int) bool {
+		a, b := ev[i], ev[j]
+		if a.Tag.Phase() != b.Tag.Phase() {
+			return a.Tag.Phase() < b.Tag.Phase()
+		}
+		if a.Tag.Step() != b.Tag.Step() {
+			return a.Tag.Step() < b.Tag.Step()
+		}
+		return a.Src < b.Src
+	})
+	return ev
+}
+
+func (r *Recorder) add(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Wrap returns an endpoint that records every send through the recorder.
+func (r *Recorder) Wrap(ep transport.Endpoint) transport.Endpoint {
+	return &traced{ep: ep, rec: r}
+}
+
+type traced struct {
+	ep  transport.Endpoint
+	rec *Recorder
+}
+
+func (t *traced) Rank() int { return t.ep.Rank() }
+func (t *traced) Size() int { return t.ep.Size() }
+
+func (t *traced) Send(to int, tag transport.Tag, p []byte) error {
+	t.rec.add(Event{Src: t.ep.Rank(), Dst: to, Tag: tag, Payload: append([]byte(nil), p...)})
+	return t.ep.Send(to, tag, p)
+}
+
+func (t *traced) Recv(from int, tag transport.Tag, p []byte) (int, error) {
+	return t.ep.Recv(from, tag, p)
+}
+
+func (t *traced) SendRecv(to int, stag transport.Tag, sp []byte, from int, rtag transport.Tag, rp []byte) (int, error) {
+	t.rec.add(Event{Src: t.ep.Rank(), Dst: to, Tag: stag, Payload: append([]byte(nil), sp...)})
+	return t.ep.SendRecv(to, stag, sp, from, rtag, rp)
+}
+
+func (t *traced) Close() error { return t.ep.Close() }
+
+// BroadcastHoldings replays a recorded broadcast whose root buffer was the
+// marker vector 0,1,…,n-1 (one byte per element) and returns, for each
+// phase, the set of elements each node holds after that phase completes.
+// holdings[k][node] is a sorted element list; phase indices are the tag
+// phases present in the trace, returned alongside.
+func BroadcastHoldings(events []Event, p, n, root int) (phases []uint32, holdings [][][]int) {
+	held := make([]map[int]bool, p)
+	for i := range held {
+		held[i] = make(map[int]bool)
+	}
+	for e := 0; e < n; e++ {
+		held[root][e] = true
+	}
+	snapshot := func() [][]int {
+		out := make([][]int, p)
+		for i, h := range held {
+			for e := range h {
+				out[i] = append(out[i], e)
+			}
+			sort.Ints(out[i])
+		}
+		return out
+	}
+	var cur uint32
+	started := false
+	for _, ev := range events {
+		if started && ev.Tag.Phase() != cur {
+			phases = append(phases, cur)
+			holdings = append(holdings, snapshot())
+		}
+		cur = ev.Tag.Phase()
+		started = true
+		for _, b := range ev.Payload {
+			held[ev.Dst][int(b)] = true
+		}
+	}
+	if started {
+		phases = append(phases, cur)
+		holdings = append(holdings, snapshot())
+	}
+	return phases, holdings
+}
+
+// RenderHoldings draws a Fig. 1-style table: one row per phase, one column
+// per node, each cell listing the vector pieces the node holds, where
+// elements are labelled x0,…  A dash marks an empty node.
+func RenderHoldings(phaseNames []string, holdings [][][]int, p int) string {
+	cell := func(elems []int) string {
+		if len(elems) == 0 {
+			return "-"
+		}
+		var b strings.Builder
+		for _, e := range elems {
+			fmt.Fprintf(&b, "x%d", e)
+		}
+		return b.String()
+	}
+	width := 1
+	rows := make([][]string, len(holdings))
+	for k, h := range holdings {
+		rows[k] = make([]string, p)
+		for i := 0; i < p; i++ {
+			rows[k][i] = cell(h[i])
+			if len(rows[k][i]) > width {
+				width = len(rows[k][i])
+			}
+		}
+	}
+	nameW := 0
+	for _, n := range phaseNames {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s", nameW, "node")
+	for i := 0; i < p; i++ {
+		fmt.Fprintf(&b, "  %-*d", width, i)
+	}
+	b.WriteByte('\n')
+	for k, r := range rows {
+		name := fmt.Sprintf("phase %d", k)
+		if k < len(phaseNames) {
+			name = phaseNames[k]
+		}
+		fmt.Fprintf(&b, "%-*s", nameW, name)
+		for _, c := range r {
+			fmt.Fprintf(&b, "  %-*s", width, c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

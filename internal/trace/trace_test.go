@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chantransport"
+	"repro/internal/transport"
+)
+
+// TestRecorderOrdersByPhase: events come back sorted by (phase, step, src)
+// regardless of goroutine arrival order.
+func TestRecorderOrdersByPhase(t *testing.T) {
+	rec := &Recorder{}
+	w := chantransport.NewWorld(3, chantransport.WithRecvTimeout(5*time.Second))
+	err := w.Run(func(ep *chantransport.Endpoint) error {
+		tep := rec.Wrap(ep)
+		buf := make([]byte, 1)
+		switch ep.Rank() {
+		case 0:
+			// Phase 2 first in real time, then phase 1.
+			if err := tep.Send(1, transport.Compose(1, 2, 0), []byte{9}); err != nil {
+				return err
+			}
+			return tep.Send(2, transport.Compose(1, 1, 0), []byte{8})
+		case 1:
+			_, err := tep.Recv(0, transport.Compose(1, 2, 0), buf)
+			return err
+		default:
+			_, err := tep.Recv(0, transport.Compose(1, 1, 0), buf)
+			return err
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := rec.Events()
+	if len(ev) != 2 {
+		t.Fatalf("%d events", len(ev))
+	}
+	if ev[0].Tag.Phase() != 1 || ev[1].Tag.Phase() != 2 {
+		t.Errorf("events not phase-sorted: %v, %v", ev[0].Tag.Phase(), ev[1].Tag.Phase())
+	}
+	if ev[0].Dst != 2 || ev[0].Payload[0] != 8 {
+		t.Errorf("event content wrong: %+v", ev[0])
+	}
+}
+
+// TestBroadcastHoldings: a hand-built two-phase trace replays into the
+// right per-phase element sets.
+func TestBroadcastHoldings(t *testing.T) {
+	// 3 nodes, 2 elements, root 0. Phase 0: node 0 sends element 1 to
+	// node 1. Phase 1: node 1 forwards element 1 to node 2.
+	events := []Event{
+		{Src: 0, Dst: 1, Tag: transport.Compose(1, 0, 0), Payload: []byte{1}},
+		{Src: 1, Dst: 2, Tag: transport.Compose(1, 1, 0), Payload: []byte{1}},
+	}
+	phases, holdings := BroadcastHoldings(events, 3, 2, 0)
+	if len(phases) != 2 || len(holdings) != 2 {
+		t.Fatalf("phases %v holdings %d", phases, len(holdings))
+	}
+	// After phase 0: root has {0,1}, node 1 has {1}, node 2 empty.
+	h0 := holdings[0]
+	if len(h0[0]) != 2 || len(h0[1]) != 1 || h0[1][0] != 1 || len(h0[2]) != 0 {
+		t.Errorf("after phase 0: %v", h0)
+	}
+	h1 := holdings[1]
+	if len(h1[2]) != 1 || h1[2][0] != 1 {
+		t.Errorf("after phase 1: %v", h1)
+	}
+}
+
+// TestRenderHoldings: the ASCII layout marks empty nodes and labels
+// elements.
+func TestRenderHoldings(t *testing.T) {
+	out := RenderHoldings([]string{"step A"}, [][][]int{{{0, 1}, nil}}, 2)
+	if !strings.Contains(out, "step A") || !strings.Contains(out, "x0x1") || !strings.Contains(out, "-") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+// TestWrapPassthrough: the wrapper preserves transport semantics
+// (SendRecv recording, Close, Rank/Size).
+func TestWrapPassthrough(t *testing.T) {
+	rec := &Recorder{}
+	w := chantransport.NewWorld(2, chantransport.WithRecvTimeout(5*time.Second))
+	err := w.Run(func(ep *chantransport.Endpoint) error {
+		tep := rec.Wrap(ep)
+		if tep.Rank() != ep.Rank() || tep.Size() != 2 {
+			t.Errorf("identity not preserved")
+		}
+		other := 1 - ep.Rank()
+		sb := []byte{byte(ep.Rank())}
+		rb := make([]byte, 1)
+		tag := transport.Compose(2, 0, 0)
+		if _, err := tep.SendRecv(other, tag, sb, other, tag, rb); err != nil {
+			return err
+		}
+		if rb[0] != byte(other) {
+			t.Errorf("payload wrong")
+		}
+		return tep.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events()) != 2 {
+		t.Errorf("SendRecv sends not recorded: %d", len(rec.Events()))
+	}
+}

@@ -1,0 +1,14 @@
+package transport
+
+// SizeSender is implemented by endpoints that can transfer message lengths
+// without payload bytes — the simulator in timing-only mode. The collective
+// layer uses these when CarriesData reports false, so that simulating a
+// megabyte broadcast across hundreds of nodes allocates nothing.
+type SizeSender interface {
+	// SendSize behaves like Send for an n-byte message with no payload.
+	SendSize(to int, tag Tag, n int) error
+	// RecvSize behaves like Recv with an n-byte buffer.
+	RecvSize(from int, tag Tag, n int) (int, error)
+	// SendRecvSize behaves like SendRecv with sn- and rn-byte buffers.
+	SendRecvSize(to int, stag Tag, sn int, from int, rtag Tag, rn int) (int, error)
+}

@@ -1,0 +1,21 @@
+package transport
+
+// Tags are structured so that a mismatched receive produces a diagnosable
+// error: 8 bits identify the collective operation, 8 bits the phase within
+// its algorithm (e.g. the scatter stage of a hybrid broadcast), and 16 bits
+// the step within the phase (e.g. the ring step of a bucket collect).
+
+// Compose packs a collective id, phase and step into a Tag. Arguments are
+// masked to their field widths.
+func Compose(coll, phase, step uint32) Tag {
+	return Tag((coll&0xff)<<24 | (phase&0xff)<<16 | step&0xffff)
+}
+
+// Coll extracts the collective id field of t.
+func (t Tag) Coll() uint32 { return uint32(t) >> 24 }
+
+// Phase extracts the phase field of t.
+func (t Tag) Phase() uint32 { return (uint32(t) >> 16) & 0xff }
+
+// Step extracts the step field of t.
+func (t Tag) Step() uint32 { return uint32(t) & 0xffff }

@@ -1,0 +1,72 @@
+package transport
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestTagFields: composition and extraction round-trip (property-based).
+func TestTagFields(t *testing.T) {
+	if err := quick.Check(func(coll, phase, step uint32) bool {
+		tag := Compose(coll, phase, step)
+		return tag.Coll() == coll&0xff && tag.Phase() == phase&0xff && tag.Step() == step&0xffff
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTagDistinct: different phases and steps never collide.
+func TestTagDistinct(t *testing.T) {
+	seen := map[Tag]bool{}
+	for phase := uint32(0); phase < 8; phase++ {
+		for step := uint32(0); step < 64; step++ {
+			tag := Compose(1, phase, step)
+			if seen[tag] {
+				t.Fatalf("collision at phase %d step %d", phase, step)
+			}
+			seen[tag] = true
+		}
+	}
+}
+
+// TestCheckPeer: bounds are enforced, self allowed.
+func TestCheckPeer(t *testing.T) {
+	if err := CheckPeer(0, 4, 3); err != nil {
+		t.Errorf("valid peer rejected: %v", err)
+	}
+	if err := CheckPeer(0, 4, 0); err != nil {
+		t.Errorf("self rejected: %v", err)
+	}
+	if err := CheckPeer(0, 4, 4); err == nil {
+		t.Error("size accepted as peer")
+	}
+	if err := CheckPeer(0, 4, -1); err == nil {
+		t.Error("negative accepted")
+	}
+}
+
+type fakeClock struct{ t float64 }
+
+func (f *fakeClock) Rank() int                          { return 0 }
+func (f *fakeClock) Size() int                          { return 1 }
+func (f *fakeClock) Send(int, Tag, []byte) error        { return nil }
+func (f *fakeClock) Recv(int, Tag, []byte) (int, error) { return 0, nil }
+func (f *fakeClock) SendRecv(int, Tag, []byte, int, Tag, []byte) (int, error) {
+	return 0, nil
+}
+func (f *fakeClock) Close() error           { return nil }
+func (f *fakeClock) Now() float64           { return f.t }
+func (f *fakeClock) Elapse(seconds float64) { f.t += seconds }
+
+// TestElapseDispatch: Elapse reaches Clock implementations and is a no-op
+// otherwise; CarriesData defaults to true.
+func TestElapseDispatch(t *testing.T) {
+	c := &fakeClock{}
+	Elapse(c, 2.5)
+	if c.t != 2.5 {
+		t.Errorf("clock not advanced: %v", c.t)
+	}
+	if !CarriesData(c) {
+		t.Error("default CarriesData should be true")
+	}
+}

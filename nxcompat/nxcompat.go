@@ -1,0 +1,160 @@
+// Package nxcompat is the NXtoiCC compatibility interface of §10: the
+// paper's InterCom distribution included a library that "converts all NX
+// collective operations to Intercom collective operations", so existing
+// programs written against the Paragon's NX system calls could link
+// against InterCom unchanged (except csend(-1), which had to become
+// iCChcast). This package provides the same migration path for Go
+// programs: the NX global-operation calling conventions — in-place vectors
+// with a caller-supplied work array — implemented over the icc library.
+//
+// Operation names follow NX: the prefix letter gives the element type
+// (d = float64, s = float32, i = int32), the suffix the reduction
+// (sum, high = max, low = min, prod). gcolx is the known-lengths
+// concatenation of Table 3; gcol exchanges lengths first, which is why
+// the paper's library prefers gcolx. gsync is the barrier and Hcast the
+// broadcast that replaces csend(-1).
+package nxcompat
+
+import (
+	"fmt"
+
+	icc "repro"
+	"repro/internal/datatype"
+)
+
+// NX exposes NX-style collective calls over a communicator. Like the
+// original, every call involves all nodes of the communicator and every
+// node must call it with conforming arguments.
+type NX struct {
+	c *icc.Comm
+}
+
+// New wraps a communicator in the NX interface.
+func New(c *icc.Comm) *NX { return &NX{c: c} }
+
+// Comm returns the underlying communicator.
+func (nx *NX) Comm() *icc.Comm { return nx.c }
+
+func (nx *NX) reduceF64(x, work []float64, op icc.Op) error {
+	if len(work) < len(x) {
+		return fmt.Errorf("nxcompat: work array %d < vector %d", len(work), len(x))
+	}
+	send := make([]byte, 8*len(x))
+	recv := make([]byte, 8*len(x))
+	datatype.PutFloat64s(send, x)
+	if err := nx.c.AllReduce(send, recv, len(x), icc.Float64, op); err != nil {
+		return err
+	}
+	copy(x, datatype.Float64s(recv))
+	return nil
+}
+
+// Gdsum is NX gdsum: elementwise global sum of float64 vectors, in place.
+func (nx *NX) Gdsum(x, work []float64) error { return nx.reduceF64(x, work, icc.Sum) }
+
+// Gdhigh is NX gdhigh: elementwise global maximum, in place.
+func (nx *NX) Gdhigh(x, work []float64) error { return nx.reduceF64(x, work, icc.Max) }
+
+// Gdlow is NX gdlow: elementwise global minimum, in place.
+func (nx *NX) Gdlow(x, work []float64) error { return nx.reduceF64(x, work, icc.Min) }
+
+// Gdprod is NX gdprod: elementwise global product, in place.
+func (nx *NX) Gdprod(x, work []float64) error { return nx.reduceF64(x, work, icc.Prod) }
+
+func (nx *NX) reduceF32(x, work []float32, op icc.Op) error {
+	if len(work) < len(x) {
+		return fmt.Errorf("nxcompat: work array %d < vector %d", len(work), len(x))
+	}
+	send := make([]byte, 4*len(x))
+	recv := make([]byte, 4*len(x))
+	datatype.PutFloat32s(send, x)
+	if err := nx.c.AllReduce(send, recv, len(x), icc.Float32, op); err != nil {
+		return err
+	}
+	copy(x, datatype.Float32s(recv))
+	return nil
+}
+
+// Gssum is NX gssum: float32 global sum, in place.
+func (nx *NX) Gssum(x, work []float32) error { return nx.reduceF32(x, work, icc.Sum) }
+
+// Gshigh is NX gshigh: float32 global maximum, in place.
+func (nx *NX) Gshigh(x, work []float32) error { return nx.reduceF32(x, work, icc.Max) }
+
+// Gslow is NX gslow: float32 global minimum, in place.
+func (nx *NX) Gslow(x, work []float32) error { return nx.reduceF32(x, work, icc.Min) }
+
+func (nx *NX) reduceI32(x, work []int32, op icc.Op) error {
+	if len(work) < len(x) {
+		return fmt.Errorf("nxcompat: work array %d < vector %d", len(work), len(x))
+	}
+	send := make([]byte, 4*len(x))
+	recv := make([]byte, 4*len(x))
+	datatype.PutInt32s(send, x)
+	if err := nx.c.AllReduce(send, recv, len(x), icc.Int32, op); err != nil {
+		return err
+	}
+	copy(x, datatype.Int32s(recv))
+	return nil
+}
+
+// Gisum is NX gisum: int32 global sum, in place.
+func (nx *NX) Gisum(x, work []int32) error { return nx.reduceI32(x, work, icc.Sum) }
+
+// Gihigh is NX gihigh: int32 global maximum, in place.
+func (nx *NX) Gihigh(x, work []int32) error { return nx.reduceI32(x, work, icc.Max) }
+
+// Gilow is NX gilow: int32 global minimum, in place.
+func (nx *NX) Gilow(x, work []int32) error { return nx.reduceI32(x, work, icc.Min) }
+
+// Gcolx is NX gcolx, the "known lengths" concatenation of Table 3: node i
+// contributes xlens[i] bytes in x; every node receives the concatenation
+// in y, which must hold Σ xlens.
+func (nx *NX) Gcolx(x []byte, xlens []int, y []byte) error {
+	if len(xlens) != nx.c.Size() {
+		return fmt.Errorf("nxcompat: gcolx got %d lengths for %d nodes", len(xlens), nx.c.Size())
+	}
+	return nx.c.Collectv(x, xlens, y, icc.Uint8)
+}
+
+// Gcol is NX gcol: concatenation with lengths unknown to the receivers.
+// The nodes first exchange their contribution lengths (a small int32
+// collect), then run the known-lengths concatenation — which is why gcolx
+// was the fast path on the Paragon and in Table 3. It returns the total
+// number of bytes assembled into y.
+func (nx *NX) Gcol(x []byte, y []byte) (int, error) {
+	p := nx.c.Size()
+	ones := make([]int, p)
+	for i := range ones {
+		ones[i] = 1
+	}
+	mine := make([]byte, 4)
+	datatype.PutInt32s(mine, []int32{int32(len(x))})
+	all := make([]byte, 4*p)
+	if err := nx.c.Collectv(mine, ones, all, icc.Int32); err != nil {
+		return 0, err
+	}
+	lens32 := datatype.Int32s(all)
+	xlens := make([]int, p)
+	total := 0
+	for i, l := range lens32 {
+		xlens[i] = int(l)
+		total += int(l)
+	}
+	if len(y) < total {
+		return 0, fmt.Errorf("nxcompat: gcol result %d bytes, buffer %d", total, len(y))
+	}
+	if err := nx.c.Collectv(x, xlens, y, icc.Uint8); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// Gsync is NX gsync: a barrier over the communicator.
+func (nx *NX) Gsync() error { return nx.c.Barrier() }
+
+// Hcast is iCChcast, the broadcast that replaces NX's csend(-1) (§10: the
+// one call the NX interface cannot convert automatically).
+func (nx *NX) Hcast(buf []byte, root int) error {
+	return nx.c.Bcast(buf, len(buf), icc.Uint8, root)
+}

@@ -1,0 +1,219 @@
+package nxcompat_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	icc "repro"
+	"repro/nxcompat"
+)
+
+func run(t *testing.T, p int, fn func(nx *nxcompat.NX) error) {
+	t.Helper()
+	w := icc.NewChannelWorld(p)
+	if err := w.Run(func(c *icc.Comm) error {
+		return fn(nxcompat.New(c))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGdFamily: the double-precision global operations, in place, all
+// ranks agreeing.
+func TestGdFamily(t *testing.T) {
+	const p, n = 6, 9
+	run(t, p, func(nx *nxcompat.NX) error {
+		me := nx.Comm().Rank()
+		work := make([]float64, n)
+
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(me + i)
+		}
+		if err := nx.Gdsum(x, work); err != nil {
+			return err
+		}
+		for i := range x {
+			want := float64(p*i + p*(p-1)/2)
+			if x[i] != want {
+				return fmt.Errorf("gdsum[%d] = %v, want %v", i, x[i], want)
+			}
+		}
+
+		for i := range x {
+			x[i] = float64((me*7 + i) % 5)
+		}
+		if err := nx.Gdhigh(x, work); err != nil {
+			return err
+		}
+		for i := range x {
+			want := 0.0
+			for r := 0; r < p; r++ {
+				want = math.Max(want, float64((r*7+i)%5))
+			}
+			if x[i] != want {
+				return fmt.Errorf("gdhigh[%d] = %v, want %v", i, x[i], want)
+			}
+		}
+
+		for i := range x {
+			x[i] = float64((me*3 + i) % 7)
+		}
+		if err := nx.Gdlow(x, work); err != nil {
+			return err
+		}
+		for i := range x {
+			want := math.Inf(1)
+			for r := 0; r < p; r++ {
+				want = math.Min(want, float64((r*3+i)%7))
+			}
+			if x[i] != want {
+				return fmt.Errorf("gdlow[%d] = %v, want %v", i, x[i], want)
+			}
+		}
+
+		for i := range x {
+			x[i] = 1 + float64(me%2)
+		}
+		if err := nx.Gdprod(x, work); err != nil {
+			return err
+		}
+		want := 1.0
+		for r := 0; r < p; r++ {
+			want *= 1 + float64(r%2)
+		}
+		if x[0] != want {
+			return fmt.Errorf("gdprod = %v, want %v", x[0], want)
+		}
+		return nil
+	})
+}
+
+// TestGiGsFamilies: the int32 and float32 variants.
+func TestGiGsFamilies(t *testing.T) {
+	const p, n = 5, 4
+	run(t, p, func(nx *nxcompat.NX) error {
+		me := nx.Comm().Rank()
+		xi := make([]int32, n)
+		wi := make([]int32, n)
+		for i := range xi {
+			xi[i] = int32(me*10 + i)
+		}
+		if err := nx.Gisum(xi, wi); err != nil {
+			return err
+		}
+		for i := range xi {
+			var want int32
+			for r := 0; r < p; r++ {
+				want += int32(r*10 + i)
+			}
+			if xi[i] != want {
+				return fmt.Errorf("gisum[%d] = %d, want %d", i, xi[i], want)
+			}
+		}
+		for i := range xi {
+			xi[i] = int32(me - 2)
+		}
+		if err := nx.Gihigh(xi, wi); err != nil {
+			return err
+		}
+		if xi[0] != int32(p-3) {
+			return fmt.Errorf("gihigh = %d", xi[0])
+		}
+		if err := nx.Gilow(xi, wi); err != nil {
+			return err
+		}
+
+		xs := make([]float32, n)
+		ws := make([]float32, n)
+		for i := range xs {
+			xs[i] = float32(me) + 0.5
+		}
+		if err := nx.Gssum(xs, ws); err != nil {
+			return err
+		}
+		want := float32(p*(p-1))/2 + 0.5*float32(p)
+		if xs[0] != want {
+			return fmt.Errorf("gssum = %v, want %v", xs[0], want)
+		}
+		if err := nx.Gshigh(xs, ws); err != nil {
+			return err
+		}
+		if err := nx.Gslow(xs, ws); err != nil {
+			return err
+		}
+		return nil
+	})
+}
+
+// TestGcolx: known-lengths concatenation.
+func TestGcolx(t *testing.T) {
+	const p = 4
+	lens := []int{3, 1, 4, 2}
+	total := 10
+	run(t, p, func(nx *nxcompat.NX) error {
+		me := nx.Comm().Rank()
+		x := bytes.Repeat([]byte{byte(me + 1)}, lens[me])
+		y := make([]byte, total)
+		if err := nx.Gcolx(x, lens, y); err != nil {
+			return err
+		}
+		want := []byte{1, 1, 1, 2, 3, 3, 3, 3, 4, 4}
+		if !bytes.Equal(y, want) {
+			return fmt.Errorf("gcolx = %v", y)
+		}
+		return nil
+	})
+}
+
+// TestGcolUnknownLengths: gcol discovers lengths first.
+func TestGcolUnknownLengths(t *testing.T) {
+	const p = 5
+	run(t, p, func(nx *nxcompat.NX) error {
+		me := nx.Comm().Rank()
+		x := bytes.Repeat([]byte{byte('a' + me)}, me) // rank r contributes r bytes
+		y := make([]byte, 32)
+		n, err := nx.Gcol(x, y)
+		if err != nil {
+			return err
+		}
+		want := []byte("bccdddeeee") // 0+1+2+3+4 bytes
+		if n != len(want) || !bytes.Equal(y[:n], want) {
+			return fmt.Errorf("gcol = %q (n=%d)", y[:n], n)
+		}
+		return nil
+	})
+}
+
+// TestHcastAndGsync: the csend(-1) replacement and the barrier.
+func TestHcastAndGsync(t *testing.T) {
+	run(t, 7, func(nx *nxcompat.NX) error {
+		buf := make([]byte, 12)
+		if nx.Comm().Rank() == 3 {
+			copy(buf, "intercom1994")
+		}
+		if err := nx.Hcast(buf, 3); err != nil {
+			return err
+		}
+		if string(buf) != "intercom1994" {
+			return fmt.Errorf("hcast = %q", buf)
+		}
+		return nx.Gsync()
+	})
+}
+
+// TestWorkArrayValidation: NX required a work array; we validate it.
+func TestWorkArrayValidation(t *testing.T) {
+	run(t, 2, func(nx *nxcompat.NX) error {
+		x := make([]float64, 4)
+		if err := nx.Gdsum(x, make([]float64, 2)); err == nil {
+			return fmt.Errorf("short work array accepted")
+		}
+		if err := nx.Gcolx(nil, []int{1}, nil); err == nil {
+			return fmt.Errorf("wrong xlens accepted")
+		}
+		return nil
+	})
+}

@@ -1,0 +1,199 @@
+package icc_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	icc "repro"
+	"repro/internal/datatype"
+)
+
+// TestSoakMixedCollectives drives a randomized sequence of collectives —
+// mixed operations, roots, vector lengths, world and subgroup scopes —
+// through the public API and validates every result against a serial
+// reference. This is the usage pattern of a real application (different
+// call mixes on different communicators) compressed into one test.
+func TestSoakMixedCollectives(t *testing.T) {
+	const (
+		rows, cols = 3, 4
+		p          = rows * cols
+		steps      = 60
+	)
+	// The script must be identical on every rank: generate it once.
+	type step struct {
+		op    int // 0 bcast, 1 allreduce, 2 collect, 3 reduce, 4 scatter+gather, 5 reduce-scatter
+		scope int // 0 world, 1 row, 2 column
+		count int
+		root  int
+		seed  int64
+	}
+	r := rand.New(rand.NewSource(20260611))
+	script := make([]step, steps)
+	for i := range script {
+		script[i] = step{
+			op:    r.Intn(6),
+			scope: r.Intn(3),
+			count: r.Intn(50),
+			root:  r.Intn(p),
+			seed:  r.Int63(),
+		}
+	}
+
+	w := icc.NewChannelWorld(p, icc.WithMesh(rows, cols))
+	err := w.Run(func(c *icc.Comm) error {
+		row, err := c.SubRow()
+		if err != nil {
+			return err
+		}
+		col, err := c.SubColumn()
+		if err != nil {
+			return err
+		}
+		for si, st := range script {
+			comm := c
+			switch st.scope {
+			case 1:
+				comm = row
+			case 2:
+				comm = col
+			}
+			g := comm.Size()
+			root := st.root % g
+			count := st.count
+			// Deterministic per-(step, member) input.
+			input := func(member, i int) int64 {
+				return int64(member*1009+i*31) ^ st.seed%1000
+			}
+			members := comm.Members()
+			me := comm.Rank()
+			mine := make([]int64, count)
+			for i := range mine {
+				mine[i] = input(members[me], i)
+			}
+			sum := make([]int64, count)
+			for _, m := range members {
+				for i := range sum {
+					sum[i] += input(m, i)
+				}
+			}
+			switch st.op {
+			case 0: // broadcast root's vector
+				buf := make([]byte, count*8)
+				if me == root {
+					datatype.PutInt64s(buf, mine)
+				}
+				if err := comm.Bcast(buf, count, icc.Int64, root); err != nil {
+					return err
+				}
+				got := datatype.Int64s(buf)
+				for i := range got {
+					if got[i] != input(members[root], i) {
+						return icc.Errorf(c, "step %d bcast elem %d wrong", si, i)
+					}
+				}
+			case 1:
+				send := make([]byte, count*8)
+				recv := make([]byte, count*8)
+				datatype.PutInt64s(send, mine)
+				if err := comm.AllReduce(send, recv, count, icc.Int64, icc.Sum); err != nil {
+					return err
+				}
+				got := datatype.Int64s(recv)
+				for i := range got {
+					if got[i] != sum[i] {
+						return icc.Errorf(c, "step %d allreduce elem %d = %d want %d", si, i, got[i], sum[i])
+					}
+				}
+			case 2:
+				send := make([]byte, count*8)
+				datatype.PutInt64s(send, mine)
+				recv := make([]byte, count*8*g)
+				if err := comm.Collect(send, recv, count, icc.Int64); err != nil {
+					return err
+				}
+				got := datatype.Int64s(recv)
+				for m := 0; m < g; m++ {
+					for i := 0; i < count; i++ {
+						if got[m*count+i] != input(members[m], i) {
+							return icc.Errorf(c, "step %d collect seg %d wrong", si, m)
+						}
+					}
+				}
+			case 3:
+				send := make([]byte, count*8)
+				recv := make([]byte, count*8)
+				datatype.PutInt64s(send, mine)
+				if err := comm.Reduce(send, recv, count, icc.Int64, icc.Sum, root); err != nil {
+					return err
+				}
+				if me == root {
+					got := datatype.Int64s(recv)
+					for i := range got {
+						if got[i] != sum[i] {
+							return icc.Errorf(c, "step %d reduce elem %d wrong", si, i)
+						}
+					}
+				}
+			case 4: // scatter then gather must round-trip
+				full := make([]byte, count*8*g)
+				if me == root {
+					for m := 0; m < g; m++ {
+						seg := make([]int64, count)
+						for i := range seg {
+							seg[i] = input(members[m], i) * 7
+						}
+						datatype.PutInt64s(full[m*count*8:], seg)
+					}
+				}
+				seg := make([]byte, count*8)
+				if err := comm.Scatter(full, seg, count, icc.Int64, root); err != nil {
+					return err
+				}
+				back := make([]byte, count*8*g)
+				if err := comm.Gather(seg, back, count, icc.Int64, root); err != nil {
+					return err
+				}
+				if me == root && !bytes.Equal(back, full) {
+					return icc.Errorf(c, "step %d scatter∘gather not identity", si)
+				}
+			case 5:
+				counts := make([]int, g)
+				rr := rand.New(rand.NewSource(st.seed))
+				total := 0
+				for i := range counts {
+					counts[i] = rr.Intn(8)
+					total += counts[i]
+				}
+				send := make([]byte, total*8)
+				vec := make([]int64, total)
+				for i := range vec {
+					vec[i] = input(members[me], i)
+				}
+				datatype.PutInt64s(send, vec)
+				recv := make([]byte, counts[me]*8)
+				if err := comm.ReduceScatter(send, counts, recv, icc.Int64, icc.Sum); err != nil {
+					return err
+				}
+				off := 0
+				for m := 0; m < me; m++ {
+					off += counts[m]
+				}
+				got := datatype.Int64s(recv)
+				for i := range got {
+					var want int64
+					for _, m := range members {
+						want += input(m, off+i)
+					}
+					if got[i] != want {
+						return icc.Errorf(c, "step %d reduce-scatter elem %d wrong", si, i)
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package icc_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	icc "repro"
+	"repro/internal/datatype"
+)
+
+// TestBcastPipelinedPublic: the pipelined broadcast delivers correctly for
+// power-of-two (Gray-reordered) and other sizes, all roots.
+func TestBcastPipelinedPublic(t *testing.T) {
+	for _, p := range []int{2, 5, 8, 16} {
+		for _, root := range []int{0, p - 1, p / 2} {
+			p, root := p, root
+			t.Run(fmt.Sprintf("p%d/root%d", p, root), func(t *testing.T) {
+				const count = 1000
+				want := make([]byte, count)
+				for i := range want {
+					want[i] = byte(i*7 + root)
+				}
+				w := icc.NewChannelWorld(p)
+				err := w.Run(func(c *icc.Comm) error {
+					buf := make([]byte, count)
+					if c.Rank() == root {
+						copy(buf, want)
+					}
+					if err := c.BcastPipelined(buf, count, icc.Uint8, root, 0); err != nil {
+						return err
+					}
+					if !bytes.Equal(buf, want) {
+						return icc.Errorf(c, "wrong payload")
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestBcastEDSTPublic: the EDST broadcast through the facade.
+func TestBcastEDSTPublic(t *testing.T) {
+	const p, count = 16, 777
+	want := make([]byte, count)
+	for i := range want {
+		want[i] = byte(i * 3)
+	}
+	w := icc.NewChannelWorld(p)
+	err := w.Run(func(c *icc.Comm) error {
+		buf := make([]byte, count)
+		if c.Rank() == 5 {
+			copy(buf, want)
+		}
+		if err := c.BcastEDST(buf, count, icc.Uint8, 5); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, want) {
+			return icc.Errorf(c, "wrong payload")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-power-of-two must be rejected.
+	w6 := icc.NewChannelWorld(6)
+	err = w6.Run(func(c *icc.Comm) error {
+		if err := c.BcastEDST(make([]byte, 4), 4, icc.Uint8, 0); err == nil {
+			return icc.Errorf(c, "p=6 accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllReduceHypercubePublic: RH+RD all-reduce through the facade
+// matches the hybrid all-reduce exactly on int64.
+func TestAllReduceHypercubePublic(t *testing.T) {
+	const p, count = 8, 33
+	w := icc.NewChannelWorld(p)
+	err := w.Run(func(c *icc.Comm) error {
+		in := make([]int64, count)
+		for i := range in {
+			in[i] = int64(c.Rank()*11 - i)
+		}
+		send := make([]byte, count*8)
+		datatype.PutInt64s(send, in)
+		recvA := make([]byte, count*8)
+		recvB := make([]byte, count*8)
+		if err := c.AllReduceHypercube(send, recvA, count, icc.Int64, icc.Sum); err != nil {
+			return err
+		}
+		if err := c.AllReduce(send, recvB, count, icc.Int64, icc.Sum); err != nil {
+			return err
+		}
+		if !bytes.Equal(recvA, recvB) {
+			return icc.Errorf(c, "hypercube all-reduce != hybrid all-reduce")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package icc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chantransport"
+	"repro/internal/model"
+	"repro/internal/simnet"
+)
+
+// World runs SPMD programs over an in-process channel transport — the
+// default functional substrate. Each rank is a goroutine.
+type World struct {
+	w    *chantransport.World
+	opts []Option
+}
+
+// NewChannelWorld creates a p-rank in-process world. The options are
+// applied to every rank's communicator.
+func NewChannelWorld(p int, opts ...Option) *World {
+	return &World{
+		w:    chantransport.NewWorld(p, chantransport.WithRecvTimeout(2*time.Minute)),
+		opts: opts,
+	}
+}
+
+// Run executes fn once per rank, each with a whole-world communicator, and
+// returns the first error by rank.
+func (w *World) Run(fn func(c *Comm) error) error {
+	return w.w.Run(func(ep *chantransport.Endpoint) error {
+		c, err := New(ep, w.opts...)
+		if err != nil {
+			return err
+		}
+		return fn(c)
+	})
+}
+
+// SimResult reports a simulated run's virtual-time statistics.
+type SimResult struct {
+	// Seconds is the virtual completion time.
+	Seconds float64
+	// Messages counts point-to-point messages.
+	Messages int64
+}
+
+// SimulateMesh runs fn once per node of a simulated rows×cols wormhole
+// mesh with the given machine parameters, in virtual time. carryData
+// selects whether payloads really move (set it when checking results;
+// leave it false for large performance experiments). The communicator
+// passed to fn is mesh-aware; extra options (e.g. WithAlg) are applied on
+// top.
+func SimulateMesh(rows, cols int, m Machine, carryData bool, fn func(c *Comm) error, opts ...Option) (SimResult, error) {
+	if err := m.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	res, err := simnet.Run(simnet.Config{
+		Rows: rows, Cols: cols, Machine: m, CarryData: carryData,
+	}, func(ep *simnet.Endpoint) error {
+		c, nerr := New(ep, append([]Option{WithMesh(rows, cols)}, opts...)...)
+		if nerr != nil {
+			return nerr
+		}
+		return fn(c)
+	})
+	if err != nil {
+		return SimResult{}, err
+	}
+	return SimResult{Seconds: res.Time, Messages: res.Messages}, nil
+}
+
+// ParagonMachine returns machine parameters similar to those of the Intel
+// Paragon (§7.2), the default for simulations.
+func ParagonMachine() Machine { return model.ParagonLike() }
+
+// DeltaMachine returns machine parameters similar to those of the Intel
+// Touchstone Delta (§11).
+func DeltaMachine() Machine { return model.DeltaLike() }
+
+// Errorf is a tiny convenience for SPMD programs building rank-prefixed
+// errors.
+func Errorf(c *Comm, format string, args ...any) error {
+	return fmt.Errorf("rank %d: %s", c.Rank(), fmt.Sprintf(format, args...))
+}
