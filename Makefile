@@ -1,0 +1,30 @@
+# Tier-1 verification gate. `make verify` is what CI and every PR must
+# keep green: a full build, the complete test suite, and a short-mode pass
+# under the race detector (the transports are concurrent by construction;
+# chantransport runs every rank as a goroutine and tcptransport adds reader
+# goroutines per connection, so the race detector is part of the gate, not
+# an extra).
+
+GO ?= go
+
+.PHONY: verify build test race bench sweep hiersweep
+
+verify: build test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
+sweep:
+	$(GO) run ./cmd/sweep
+
+hiersweep:
+	$(GO) run ./cmd/hiersweep

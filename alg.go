@@ -19,6 +19,7 @@ const (
 	algShort
 	algLong
 	algShape
+	algHier
 )
 
 // AlgAuto selects the model-optimal hybrid per call (§7.1).
@@ -35,6 +36,13 @@ var AlgLong = Alg{kind: algLong}
 // AlgShape forces an explicit hybrid shape, e.g. the Table 2 entries.
 func AlgShape(s Shape) Alg { return Alg{kind: algShape, shape: s} }
 
+// AlgHier always uses the two-level hierarchical composition on
+// communicators carrying a cluster partition (WithClusters): intra-cluster
+// phases plus a leader-level phase. On communicators without a partition
+// it falls back to the automatic policy. Scatter and gather, which the
+// hierarchy cannot improve, run their flat algorithms.
+var AlgHier = Alg{kind: algHier}
+
 // String describes the policy.
 func (a Alg) String() string {
 	switch a.kind {
@@ -44,6 +52,8 @@ func (a Alg) String() string {
 		return "long (bucket)"
 	case algShape:
 		return "shape " + a.shape.String()
+	case algHier:
+		return "hier (two-level)"
 	default:
 		return "auto (model-selected hybrid)"
 	}

@@ -186,6 +186,72 @@ func BenchmarkChannelCollect(b *testing.B) {
 	}
 }
 
+// benchHierPoint runs one flat-versus-hierarchical comparison on a
+// simulated two-level machine (8 clusters × 8 ranks, inter/intra β ratio
+// 10, round-robin placement) and reports both simulated times plus the
+// hierarchy's speedup, the same quantities cmd/hiersweep sweeps at full
+// scale.
+func benchHierPoint(b *testing.B, coll model.Collective, n int) {
+	tl := model.ClusterLike()
+	var flat, hier float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		flat, hier, err = harness.HierPoint(coll, 8, 8, n, tl, harness.RoundRobin)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(flat, "flat-sim-sec")
+	b.ReportMetric(hier, "hier-sim-sec")
+	b.ReportMetric(flat/hier, "speedup")
+}
+
+// BenchmarkHierAllReduce / BenchmarkHierBcast: the two-level hierarchy
+// against the flat auto hybrid, across message lengths.
+func BenchmarkHierAllReduce(b *testing.B) {
+	for _, n := range []int{8, 65536, 1 << 20} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			benchHierPoint(b, model.AllReduce, n)
+		})
+	}
+}
+
+func BenchmarkHierBcast(b *testing.B) {
+	for _, n := range []int{8, 65536, 1 << 20} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			benchHierPoint(b, model.Bcast, n)
+		})
+	}
+}
+
+// BenchmarkHierChannelAllReduce measures real wall-clock cost of the
+// hierarchical all-reduce over the channel transport against the flat
+// policies, on a clustered communicator.
+func BenchmarkHierChannelAllReduce(b *testing.B) {
+	const p, bytes = 16, 1 << 16
+	for _, alg := range []icc.Alg{icc.AlgAuto, icc.AlgHier} {
+		b.Run(alg.String(), func(b *testing.B) {
+			w := icc.NewChannelWorld(p, icc.WithAlg(alg))
+			send := make([]byte, bytes)
+			recv := make([]byte, bytes)
+			b.SetBytes(int64(bytes))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := w.Run(func(c *icc.Comm) error {
+					h, herr := c.WithClustersBySize(4)
+					if herr != nil {
+						return herr
+					}
+					return h.AllReduce(send, recv, bytes, icc.Uint8, icc.Sum)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPlanner measures hybrid selection cost (it sits on the critical
 // path of every auto-mode collective call).
 func BenchmarkPlanner(b *testing.B) {

@@ -7,7 +7,10 @@
 //
 // Usage:
 //
-//	go run ./cmd/sweep [-rows 16] [-cols 32]
+//	go run ./cmd/sweep [-rows 16] [-cols 32] [-json]
+//
+// -json emits an array of {title, header, rows, notes} tables — the same
+// schema cmd/hiersweep emits — instead of text tables.
 package main
 
 import (
@@ -22,13 +25,26 @@ import (
 func main() {
 	rows := flag.Int("rows", 16, "mesh rows")
 	cols := flag.Int("cols", 32, "mesh columns")
+	jsonOut := flag.Bool("json", false, "emit the shared sweep JSON schema instead of text tables")
 	flag.Parse()
 	lengths := []int{8, 1024, 65536, 1 << 20}
+	var tables []harness.Table
 	for _, coll := range model.Collectives() {
 		tab, err := harness.Sweep(coll, *rows, *cols, lengths)
 		if err != nil {
 			log.Fatal(err)
 		}
+		tables = append(tables, tab)
+	}
+	if *jsonOut {
+		s, err := harness.TablesJSON(tables)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(s)
+		return
+	}
+	for _, tab := range tables {
 		fmt.Println(tab)
 	}
 }

@@ -22,6 +22,10 @@ type (
 	Machine = model.Machine
 	// Shape is an explicit hybrid algorithm description (model.Shape).
 	Shape = model.Shape
+	// TwoLevel holds machine parameters for a two-level hierarchy
+	// (model.TwoLevel): Local for ranks in the same cluster, Global for
+	// the leader-level network between clusters.
+	TwoLevel = model.TwoLevel
 )
 
 // Element types.
@@ -62,6 +66,19 @@ type Comm struct {
 	// per-pair FIFO ordering, which SPMD call discipline guarantees.
 	ctxID uint32
 	seq   *atomic.Uint32 // per-rank context id allocator, shared with subgroups
+	// Two-level hierarchy state. clusters partitions the group's logical
+	// indices (set by WithClusters); tl holds the two-level machine
+	// parameters; gplanner costs flat hybrids with the Global parameters,
+	// the honest flat baseline on a clustered machine.
+	clusters    group.Cluster
+	hasClusters bool
+	// clSizes and clContig cache immutable partition properties consulted
+	// on every auto-mode collective call.
+	clSizes  []int
+	clContig bool
+	tl       model.TwoLevel
+	hasTL    bool
+	gplanner *model.Planner
 }
 
 // Option configures a communicator.
@@ -86,6 +103,15 @@ func WithAlg(a Alg) Option {
 	return func(c *Comm) { c.alg = a }
 }
 
+// WithTwoLevel attaches two-level machine parameters: local for ranks in
+// the same cluster, global for the inter-cluster network. Together with a
+// cluster partition (WithClusters) they let the automatic policy weigh
+// hierarchical collectives against flat hybrids. Simulated two-level
+// endpoints supply these automatically.
+func WithTwoLevel(local, global Machine) Option {
+	return func(c *Comm) { c.tl, c.hasTL = model.TwoLevel{Local: local, Global: global}, true }
+}
+
 // New builds a whole-world communicator over an endpoint.
 func New(ep transport.Endpoint, opts ...Option) (*Comm, error) {
 	c := &Comm{
@@ -99,6 +125,9 @@ func New(ep transport.Endpoint, opts ...Option) (*Comm, error) {
 	c.ctxID = c.seq.Add(1) & 0x7f
 	if mp, ok := ep.(interface{ Machine() model.Machine }); ok {
 		c.mach, c.hasMach = mp.Machine(), true
+	}
+	if tp, ok := ep.(interface{ TwoLevel() model.TwoLevel }); ok {
+		c.tl, c.hasTL = tp.TwoLevel(), true
 	}
 	for _, o := range opts {
 		o(c)
@@ -132,13 +161,29 @@ func (c *Comm) MachineModel() Machine { return c.mach }
 // namespace (context ids 0x80 and up are reserved for other libraries,
 // e.g. the NX baseline).
 func (c *Comm) ctx() core.Ctx {
-	return core.Ctx{
+	x := core.Ctx{
 		EP:      c.ep,
 		Members: c.members,
 		Me:      c.me,
 		Coll:    c.ctxID,
 		Machine: &c.mach,
 	}
+	if c.hasClusters {
+		x.Clusters = &c.clusters
+		tl := c.twoLevel()
+		x.Hier = &tl
+	}
+	return x
+}
+
+// twoLevel returns the two-level machine, defaulting both levels to the
+// flat machine parameters when none were supplied (on which the hierarchy
+// never wins, so auto-selection stays flat).
+func (c *Comm) twoLevel() model.TwoLevel {
+	if c.hasTL {
+		return c.tl
+	}
+	return model.Uniform(c.mach)
 }
 
 // shape resolves the algorithm policy into a concrete hybrid shape for an
@@ -151,7 +196,24 @@ func (c *Comm) shape(coll model.Collective, nBytes int) Shape {
 		return model.BucketShape(c.layout)
 	case algShape:
 		return c.alg.shape
+	case algHier:
+		if c.hasClusters {
+			return model.HierShape()
+		}
+		s, _ := c.planner.Best(coll, c.layout, nBytes)
+		return s
 	default:
+		if c.hasClusters {
+			// On a clustered machine a flat collective pays the global
+			// network on most hops, so both the flat shape and the flat
+			// baseline cost come from the Global-parameter planner; run
+			// the hierarchy when the two-level composition undercuts it.
+			sg, flat := c.gplanner.Best(coll, c.layout, nBytes)
+			if c.twoLevel().HierCost(coll, c.clSizes, c.clContig, float64(nBytes)) < flat {
+				return model.HierShape()
+			}
+			return sg
+		}
 		s, _ := c.planner.Best(coll, c.layout, nBytes)
 		return s
 	}

@@ -34,6 +34,35 @@
 // mapping, and sub-communicators (rows, columns, arbitrary subsets) run
 // the same algorithms, planned against their detected physical structure.
 //
+// # Hierarchical two-level collectives
+//
+// Modern clusters expose two networks: ranks sharing a node communicate
+// through memory (low α, high bandwidth), ranks on different nodes through
+// a NIC that every rank of the node shares. Declaring the rank→node map
+// with Comm.WithClusters (or WithClustersBySize) lets the library compose
+// collectives hierarchically from the same building blocks: an
+// intra-cluster phase inside each cluster, a leader-level phase among one
+// representative per cluster, and an intra-cluster fan-out — broadcast,
+// reduce, all-reduce, collect and reduce-scatter all have two-level forms,
+// and each phase independently picks its short or long algorithm.
+//
+// The two-level cost model (model.TwoLevel, attached with WithTwoLevel or
+// supplied by a simulated two-level endpoint) prices the composition
+// against the best flat hybrid — flat collectives are planned as
+// structure-blind linear arrays, which is all the library can honestly
+// assume when the cluster map is the only declared structure — and the
+// automatic policy switches to the hierarchy exactly when the model
+// predicts a win. AlgHier forces it; cluster partitions may be arbitrary
+// (uneven sizes, non-contiguous placement such as round-robin ranks).
+//
+//	h, _ := c.WithClustersBySize(8) // 8 ranks per node, node-major
+//	h.AllReduce(send, recv, n, icc.Float64, icc.Sum)
+//
+// SimulateClusters runs SPMD programs on a simulated two-level machine
+// whose inter-cluster messages pay a slower α/β and share one
+// uplink/downlink per cluster; cmd/hiersweep sweeps flat versus
+// hierarchical across scales and placements.
+//
 // # Quick start
 //
 //	world := icc.NewChannelWorld(8)

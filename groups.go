@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/group"
+	"repro/internal/model"
 )
 
 // Group collective communication (§9). A sub-communicator is defined by an
@@ -47,9 +48,84 @@ func (c *Comm) Sub(ranks []int) (*Comm, error) {
 		planner: c.planner,
 		alg:     c.alg,
 		seq:     c.seq,
+		tl:      c.tl,
+		hasTL:   c.hasTL,
 	}
 	s.ctxID = c.seq.Add(1) & 0x7f
 	return s, nil
+}
+
+// WithClusters returns a communicator identical to c but carrying a
+// two-level cluster partition: of[r] names the cluster (node) of rank r,
+// for every rank of the communicator. Cluster ids are arbitrary labels;
+// they are normalized internally. With a partition attached, the automatic
+// policy weighs hierarchical collectives — intra-cluster phases composed
+// with a leader-level phase — against flat hybrids using the two-level
+// machine parameters (WithTwoLevel, or the endpoint's own), and AlgHier
+// forces them. Every member must call WithClusters with the same map.
+func (c *Comm) WithClusters(of map[int]int) (*Comm, error) {
+	assign := make([]int, c.Size())
+	for r := range assign {
+		v, ok := of[r]
+		if !ok {
+			return nil, fmt.Errorf("icc: cluster map misses rank %d", r)
+		}
+		assign[r] = v
+	}
+	if len(of) != c.Size() {
+		return nil, fmt.Errorf("icc: cluster map names %d ranks, communicator has %d", len(of), c.Size())
+	}
+	return c.withClusterAssignment(assign)
+}
+
+// WithClustersBySize returns a communicator whose ranks are partitioned
+// into consecutive clusters of the given size (the last may be smaller) —
+// the conventional node-major rank layout.
+func (c *Comm) WithClustersBySize(size int) (*Comm, error) {
+	cl, err := group.ClusterBySize(c.Size(), size)
+	if err != nil {
+		return nil, err
+	}
+	return c.withClusterAssignment(cl.Assignment())
+}
+
+func (c *Comm) withClusterAssignment(assign []int) (*Comm, error) {
+	cl, err := group.NewCluster(assign)
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.Validate(c.Size()); err != nil {
+		return nil, err
+	}
+	s := &Comm{
+		ep:          c.ep,
+		members:     append([]int(nil), c.members...),
+		me:          c.me,
+		layout:      c.layout,
+		mach:        c.mach,
+		hasMach:     c.hasMach,
+		planner:     c.planner,
+		alg:         c.alg,
+		seq:         c.seq,
+		tl:          c.tl,
+		hasTL:       c.hasTL,
+		clusters:    cl,
+		hasClusters: true,
+		clSizes:     cl.Sizes(),
+		clContig:    cl.Contiguous(),
+	}
+	s.gplanner = model.NewPlanner(s.twoLevel().Global)
+	s.ctxID = c.seq.Add(1) & 0x7f
+	return s, nil
+}
+
+// Clusters returns the communicator's normalized rank→cluster assignment,
+// or nil when no partition is attached.
+func (c *Comm) Clusters() []int {
+	if !c.hasClusters {
+		return nil
+	}
+	return c.clusters.Assignment()
 }
 
 // SubRow returns the communicator of this node's row of a 2-D

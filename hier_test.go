@@ -1,0 +1,316 @@
+// Property tests for the hierarchical two-level collectives: under
+// randomized cluster partitions — uneven sizes, singleton clusters, one
+// giant cluster, arbitrary interleavings — every hierarchical collective
+// must produce bitwise the results of its flat counterpart, for every
+// datatype/op pair. Payload values are restricted per op so that the
+// mathematical result is exact regardless of combining order (small
+// integers for sums, {1,2} for products), making bitwise comparison valid
+// even for floating-point types.
+package icc_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	icc "repro"
+	"repro/internal/datatype"
+	"repro/internal/model"
+)
+
+// clusterMaps returns named cluster partitions of p ranks: deterministic
+// shapes plus seeded random assignments.
+func clusterMaps(p int, seed int64) map[string]map[int]int {
+	ms := map[string]map[int]int{
+		"one-giant":  {},
+		"singletons": {},
+		"blocks-3":   {},
+	}
+	for r := 0; r < p; r++ {
+		ms["one-giant"][r] = 0
+		ms["singletons"][r] = r
+		ms["blocks-3"][r] = r / 3
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 3; trial++ {
+		k := 1 + rng.Intn(p) // number of clusters
+		m := map[int]int{}
+		for r := 0; r < p; r++ {
+			m[r] = rng.Intn(k)
+		}
+		ms[fmt.Sprintf("random-%d", trial)] = m
+	}
+	return ms
+}
+
+// opValues returns count deterministic per-rank values safe for exact,
+// order-independent combining under op.
+func opValues(op icc.Op, rank, count int, rng *rand.Rand) []int64 {
+	vals := make([]int64, count)
+	for i := range vals {
+		switch op {
+		case icc.Prod:
+			vals[i] = 1 + rng.Int63n(2) // {1, 2}: exact up to 2^24 even in float32
+		default:
+			vals[i] = rng.Int63n(100) + int64(rank)
+		}
+	}
+	return vals
+}
+
+// encode packs small integer values as elements of dt.
+func encode(dt icc.Type, vals []int64) []byte {
+	buf := make([]byte, len(vals)*dt.Size())
+	switch dt {
+	case icc.Uint8:
+		for i, v := range vals {
+			buf[i] = byte(v)
+		}
+	case icc.Int32:
+		xs := make([]int32, len(vals))
+		for i, v := range vals {
+			xs[i] = int32(v)
+		}
+		datatype.PutInt32s(buf, xs)
+	case icc.Int64:
+		datatype.PutInt64s(buf, vals)
+	case icc.Float32:
+		xs := make([]float32, len(vals))
+		for i, v := range vals {
+			xs[i] = float32(v)
+		}
+		datatype.PutFloat32s(buf, xs)
+	case icc.Float64:
+		xs := make([]float64, len(vals))
+		for i, v := range vals {
+			xs[i] = float64(v)
+		}
+		datatype.PutFloat64s(buf, xs)
+	}
+	return buf
+}
+
+// runWorld executes body once per rank over a channel world, with the
+// given policy and optional cluster map, and returns each rank's output.
+func runWorld(t *testing.T, p int, clusters map[int]int, alg icc.Alg, body func(c *icc.Comm, out *[]byte) error) [][]byte {
+	t.Helper()
+	outs := make([][]byte, p)
+	w := icc.NewChannelWorld(p, icc.WithAlg(alg))
+	err := w.Run(func(c *icc.Comm) error {
+		if clusters != nil {
+			h, herr := c.WithClusters(clusters)
+			if herr != nil {
+				return herr
+			}
+			c = h
+		}
+		return body(c, &outs[c.Rank()])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outs
+}
+
+// TestHierAllReduceMatchesFlat: hierarchical all-reduce equals the flat
+// result for every cluster shape and every datatype/op pair.
+func TestHierAllReduceMatchesFlat(t *testing.T) {
+	const count = 23
+	for _, p := range []int{5, 8, 13} {
+		for name, cm := range clusterMaps(p, int64(p)*7) {
+			for _, dt := range datatype.Types() {
+				for _, op := range datatype.Ops() {
+					t.Run(fmt.Sprintf("p%d/%s/%v/%v", p, name, dt, op), func(t *testing.T) {
+						body := func(c *icc.Comm, out *[]byte) error {
+							rng := rand.New(rand.NewSource(int64(c.Rank())*1000 + 42))
+							send := encode(dt, opValues(op, c.Rank(), count, rng))
+							recv := make([]byte, len(send))
+							if err := c.AllReduce(send, recv, count, dt, op); err != nil {
+								return err
+							}
+							*out = recv
+							return nil
+						}
+						flat := runWorld(t, p, nil, icc.AlgAuto, body)
+						hier := runWorld(t, p, cm, icc.AlgHier, body)
+						for r := 0; r < p; r++ {
+							if !bytes.Equal(flat[r], hier[r]) {
+								t.Fatalf("rank %d: hier %v != flat %v", r, hier[r], flat[r])
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestHierCollectMatchesFlat: hierarchical collect with uneven per-rank
+// counts (including empty contributions) equals the flat result.
+func TestHierCollectMatchesFlat(t *testing.T) {
+	for _, p := range []int{5, 8, 13} {
+		for name, cm := range clusterMaps(p, int64(p)*13) {
+			t.Run(fmt.Sprintf("p%d/%s", p, name), func(t *testing.T) {
+				counts := make([]int, p)
+				crng := rand.New(rand.NewSource(int64(p)))
+				for i := range counts {
+					counts[i] = crng.Intn(5) // includes zero-length segments
+				}
+				total := 0
+				for _, n := range counts {
+					total += n
+				}
+				dt := icc.Int32
+				body := func(c *icc.Comm, out *[]byte) error {
+					vals := make([]int64, counts[c.Rank()])
+					for i := range vals {
+						vals[i] = int64(c.Rank()*100 + i)
+					}
+					send := encode(dt, vals)
+					recv := make([]byte, total*dt.Size())
+					if err := c.Collectv(send, counts, recv, dt); err != nil {
+						return err
+					}
+					*out = recv
+					return nil
+				}
+				flat := runWorld(t, p, nil, icc.AlgAuto, body)
+				hier := runWorld(t, p, cm, icc.AlgHier, body)
+				for r := 0; r < p; r++ {
+					if !bytes.Equal(flat[r], hier[r]) {
+						t.Fatalf("rank %d: hier %v != flat %v", r, hier[r], flat[r])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestHierRootedAndScatterFamily: the remaining collectives — Bcast,
+// Reduce, ReduceScatter, Scatterv, Gatherv — agree with their flat
+// counterparts under random partitions, for every root.
+func TestHierRootedAndScatterFamily(t *testing.T) {
+	const p = 7
+	dt := icc.Int64
+	counts := []int{2, 0, 3, 1, 4, 2, 1}
+	total := 0
+	offs := make([]int, p+1)
+	for i, n := range counts {
+		total += n
+		offs[i+1] = offs[i] + n
+	}
+	for name, cm := range clusterMaps(p, 99) {
+		for root := 0; root < p; root += 3 {
+			t.Run(fmt.Sprintf("%s/root%d", name, root), func(t *testing.T) {
+				body := func(c *icc.Comm, out *[]byte) error {
+					var got []byte
+					// Bcast.
+					buf := make([]byte, 16*dt.Size())
+					if c.Rank() == root {
+						vals := make([]int64, 16)
+						for i := range vals {
+							vals[i] = int64(i * 7)
+						}
+						copy(buf, encode(dt, vals))
+					}
+					if err := c.Bcast(buf, 16, dt, root); err != nil {
+						return err
+					}
+					got = append(got, buf...)
+					// Reduce.
+					rng := rand.New(rand.NewSource(int64(c.Rank()) + 5))
+					send := encode(dt, opValues(icc.Sum, c.Rank(), 16, rng))
+					recv := make([]byte, 16*dt.Size())
+					if err := c.Reduce(send, recv, 16, dt, icc.Sum, root); err != nil {
+						return err
+					}
+					if c.Rank() == root {
+						got = append(got, recv...)
+					}
+					// ReduceScatter with uneven counts.
+					full := encode(dt, opValues(icc.Sum, c.Rank(), total, rng))
+					seg := make([]byte, counts[c.Rank()]*dt.Size())
+					if err := c.ReduceScatter(full, counts, seg, dt, icc.Sum); err != nil {
+						return err
+					}
+					got = append(got, seg...)
+					// Scatterv / Gatherv round trip.
+					var sbuf []byte
+					if c.Rank() == root {
+						vals := make([]int64, total)
+						for i := range vals {
+							vals[i] = int64(i * 3)
+						}
+						sbuf = encode(dt, vals)
+					}
+					sseg := make([]byte, counts[c.Rank()]*dt.Size())
+					if err := c.Scatterv(sbuf, counts, sseg, dt, root); err != nil {
+						return err
+					}
+					got = append(got, sseg...)
+					gout := make([]byte, total*dt.Size())
+					if err := c.Gatherv(sseg, counts, gout, dt, root); err != nil {
+						return err
+					}
+					if c.Rank() == root {
+						got = append(got, gout...)
+					}
+					*out = got
+					return nil
+				}
+				flat := runWorld(t, p, nil, icc.AlgAuto, body)
+				hier := runWorld(t, p, cm, icc.AlgHier, body)
+				for r := 0; r < p; r++ {
+					if !bytes.Equal(flat[r], hier[r]) {
+						t.Fatalf("rank %d: hier != flat", r)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSimulateClustersEndToEnd: the full wiring on a simulated two-level
+// machine — the endpoint supplies the two-level parameters, WithClusters
+// attaches the partition, the automatic policy weighs the hierarchy, and
+// the payload arrives intact (carry-data mode).
+func TestSimulateClustersEndToEnd(t *testing.T) {
+	tl := model.ClusterLike()
+	const clusters, per, count = 4, 4, 512
+	p := clusters * per
+	want := make([]int64, count)
+	for r := 0; r < p; r++ {
+		for i := range want {
+			want[i] += int64(r + i)
+		}
+	}
+	for _, alg := range []icc.Alg{icc.AlgAuto, icc.AlgHier} {
+		_, err := icc.SimulateClusters(clusters, per, tl.Local, tl.Global, true, func(c *icc.Comm) error {
+			h, err := c.WithClustersBySize(per)
+			if err != nil {
+				return err
+			}
+			vals := make([]int64, count)
+			for i := range vals {
+				vals[i] = int64(h.Rank() + i)
+			}
+			send := make([]byte, count*8)
+			datatype.PutInt64s(send, vals)
+			recv := make([]byte, count*8)
+			if err := h.AllReduce(send, recv, count, icc.Int64, icc.Sum); err != nil {
+				return err
+			}
+			got := datatype.Int64s(recv)
+			for i := range want {
+				if got[i] != want[i] {
+					return icc.Errorf(h, "elem %d = %d, want %d", i, got[i], want[i])
+				}
+			}
+			return nil
+		}, icc.WithAlg(alg))
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Cross-transport conformance suite: every public collective runs over
+// the in-process channel transport, the TCP socket transport, and the
+// discrete-event simulator with identical inputs, and must produce
+// bitwise-identical results on every rank. The transports share the
+// collective algorithm code by construction (§11's porting claim); this
+// suite pins the claim down, covering group sizes from the degenerate
+// single rank through non-powers-of-two to 16.
+//
+// Combine operations are restricted to exact, order-independent
+// value/op pairs (integer sums, max on exactly representable floats), so
+// bitwise comparison is valid even if a transport's planner ever chose a
+// different combining order.
+package icc_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	icc "repro"
+	"repro/internal/datatype"
+	"repro/internal/tcptransport"
+)
+
+// confSizes are the group sizes the suite covers, including
+// non-powers-of-two.
+var confSizes = []int{1, 2, 5, 8, 16}
+
+// confCase is one public collective exercised on deterministic inputs.
+// run returns the bytes this rank observed (root-only outputs are
+// returned only on the root, so the comparison is per rank).
+type confCase struct {
+	name string
+	run  func(c *icc.Comm) ([]byte, error)
+}
+
+// confRoot picks a non-trivial root for a group of p.
+func confRoot(p int) int { return p / 2 }
+
+// confCounts returns per-rank element counts with zeros and unevenness.
+func confCounts(p int) []int {
+	counts := make([]int, p)
+	for i := range counts {
+		counts[i] = (i*3 + 1) % 5 // 1, 4, 2, 0, 3, 1, …
+	}
+	return counts
+}
+
+func confInt64s(rank, count, salt int) []byte {
+	vals := make([]int64, count)
+	for i := range vals {
+		vals[i] = int64(rank*1009 + i*31 + salt)
+	}
+	buf := make([]byte, count*8)
+	datatype.PutInt64s(buf, vals)
+	return buf
+}
+
+func confFloat64s(rank, count, salt int) []byte {
+	vals := make([]float64, count)
+	for i := range vals {
+		vals[i] = float64((rank*577 + i*13 + salt) % 4096) // exactly representable
+	}
+	buf := make([]byte, count*8)
+	datatype.PutFloat64s(buf, vals)
+	return buf
+}
+
+// conformanceCases lists all 11 public collectives.
+func conformanceCases(p int) []confCase {
+	root := confRoot(p)
+	counts := confCounts(p)
+	total := 0
+	offs := make([]int, p+1)
+	for i, n := range counts {
+		total += n
+		offs[i+1] = offs[i] + n
+	}
+	const count = 17 // non-power-of-two element count for whole-vector ops
+	return []confCase{
+		{"Bcast", func(c *icc.Comm) ([]byte, error) {
+			buf := make([]byte, count*8)
+			if c.Rank() == root {
+				copy(buf, confInt64s(root, count, 1))
+			}
+			err := c.Bcast(buf, count, icc.Int64, root)
+			return buf, err
+		}},
+		{"Reduce", func(c *icc.Comm) ([]byte, error) {
+			recv := make([]byte, count*8)
+			err := c.Reduce(confInt64s(c.Rank(), count, 2), recv, count, icc.Int64, icc.Sum, root)
+			if c.Rank() != root {
+				recv = nil
+			}
+			return recv, err
+		}},
+		{"AllReduce", func(c *icc.Comm) ([]byte, error) {
+			recv := make([]byte, count*8)
+			err := c.AllReduce(confFloat64s(c.Rank(), count, 3), recv, count, icc.Float64, icc.Max)
+			return recv, err
+		}},
+		{"Scatter", func(c *icc.Comm) ([]byte, error) {
+			var send []byte
+			if c.Rank() == root {
+				send = confInt64s(root, 4*p, 4)
+			}
+			recv := make([]byte, 4*8)
+			err := c.Scatter(send, recv, 4, icc.Int64, root)
+			return recv, err
+		}},
+		{"Scatterv", func(c *icc.Comm) ([]byte, error) {
+			var send []byte
+			if c.Rank() == root {
+				send = confInt64s(root, total, 5)
+			}
+			recv := make([]byte, counts[c.Rank()]*8)
+			err := c.Scatterv(send, counts, recv, icc.Int64, root)
+			return recv, err
+		}},
+		{"Gather", func(c *icc.Comm) ([]byte, error) {
+			recv := make([]byte, 4*p*8)
+			err := c.Gather(confInt64s(c.Rank(), 4, 6), recv, 4, icc.Int64, root)
+			if c.Rank() != root {
+				recv = nil
+			}
+			return recv, err
+		}},
+		{"Gatherv", func(c *icc.Comm) ([]byte, error) {
+			recv := make([]byte, total*8)
+			err := c.Gatherv(confInt64s(c.Rank(), counts[c.Rank()], 7), counts, recv, icc.Int64, root)
+			if c.Rank() != root {
+				recv = nil
+			}
+			return recv, err
+		}},
+		{"Collect", func(c *icc.Comm) ([]byte, error) {
+			recv := make([]byte, 3*p*8)
+			err := c.Collect(confInt64s(c.Rank(), 3, 8), recv, 3, icc.Int64)
+			return recv, err
+		}},
+		{"Collectv", func(c *icc.Comm) ([]byte, error) {
+			recv := make([]byte, total*8)
+			err := c.Collectv(confInt64s(c.Rank(), counts[c.Rank()], 9), counts, recv, icc.Int64)
+			return recv, err
+		}},
+		{"ReduceScatter", func(c *icc.Comm) ([]byte, error) {
+			recv := make([]byte, counts[c.Rank()]*8)
+			err := c.ReduceScatter(confInt64s(c.Rank(), total, 10), counts, recv, icc.Int64, icc.Sum)
+			return recv, err
+		}},
+		{"Barrier", func(c *icc.Comm) ([]byte, error) {
+			return []byte{0xb7}, c.Barrier()
+		}},
+	}
+}
+
+// runConfProgram executes every conformance case in order on one rank and
+// stores its outputs.
+func runConfProgram(c *icc.Comm, outs [][][]byte) error {
+	for ci, cc := range conformanceCases(c.Size()) {
+		got, err := cc.run(c)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cc.name, err)
+		}
+		outs[c.Rank()][ci] = got
+	}
+	return nil
+}
+
+func newConfOuts(p int) [][][]byte {
+	outs := make([][][]byte, p)
+	for i := range outs {
+		outs[i] = make([][]byte, len(conformanceCases(p)))
+	}
+	return outs
+}
+
+// The three substrates.
+
+func confChan(t *testing.T, p int) [][][]byte {
+	t.Helper()
+	outs := newConfOuts(p)
+	w := icc.NewChannelWorld(p)
+	if err := w.Run(func(c *icc.Comm) error { return runConfProgram(c, outs) }); err != nil {
+		t.Fatalf("chantransport: %v", err)
+	}
+	return outs
+}
+
+func confTCP(t *testing.T, p int) [][][]byte {
+	t.Helper()
+	outs := newConfOuts(p)
+	eps, err := tcptransport.NewLocalWorld(p, tcptransport.WithRecvTimeout(time.Minute))
+	if err != nil {
+		t.Fatalf("tcptransport: %v", err)
+	}
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer eps[r].Close()
+			c, nerr := icc.New(eps[r])
+			if nerr != nil {
+				errs[r] = nerr
+				return
+			}
+			errs[r] = runConfProgram(c, outs)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("tcptransport rank %d: %v", r, err)
+		}
+	}
+	return outs
+}
+
+func confSim(t *testing.T, p int) [][][]byte {
+	t.Helper()
+	outs := newConfOuts(p)
+	_, err := icc.SimulateMesh(1, p, icc.ParagonMachine(), true,
+		func(c *icc.Comm) error { return runConfProgram(c, outs) })
+	if err != nil {
+		t.Fatalf("simnet: %v", err)
+	}
+	return outs
+}
+
+// TestConformanceAcrossTransports: all 11 public collectives × 3
+// transports × group sizes {1, 2, 5, 8, 16}, identical inputs, bitwise
+// identical per-rank results.
+func TestConformanceAcrossTransports(t *testing.T) {
+	for _, p := range confSizes {
+		p := p
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			ref := confChan(t, p)
+			others := map[string][][][]byte{
+				"tcptransport": confTCP(t, p),
+				"simnet":       confSim(t, p),
+			}
+			cases := conformanceCases(p)
+			for name, got := range others {
+				for r := 0; r < p; r++ {
+					for ci, cc := range cases {
+						if !bytes.Equal(ref[r][ci], got[r][ci]) {
+							t.Errorf("%s: %s rank %d: %x != chantransport %x",
+								name, cc.name, r, got[r][ci], ref[r][ci])
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -19,6 +19,14 @@ type Ctx struct {
 	Me      int
 	Coll    uint32
 	Machine *model.Machine
+	// Clusters, when non-nil, is the two-level partition of the group's
+	// logical indices that hierarchical shapes (model.HierShape) execute
+	// over. Flat shapes ignore it.
+	Clusters *group.Cluster
+	// Hier optionally supplies two-level machine parameters; hierarchical
+	// execution uses them to choose each phase's algorithm (short MST vs
+	// long bucket) per level. When nil, Machine is used for both levels.
+	Hier *model.TwoLevel
 }
 
 // NewCtx builds a whole-world context for an endpoint.
@@ -80,6 +88,13 @@ func Bcast(c Ctx, s model.Shape, root int, buf []byte, count, es int) error {
 	if err := checkBuf("broadcast", e.carry, buf, count*es); err != nil {
 		return err
 	}
+	if s.Hier {
+		cl, tl, herr := c.hier()
+		if herr != nil {
+			return herr
+		}
+		return hierBcast(&e, cl, tl, root, buf, count, es)
+	}
 	return hybridBcast(&e, s, root, buf, count, es)
 }
 
@@ -102,6 +117,13 @@ func Reduce(c Ctx, s model.Shape, root int, buf, tmp []byte, count int, dt datat
 	if err := checkBuf("reduce scratch", e.carry, tmp, count*es); err != nil {
 		return err
 	}
+	if s.Hier {
+		cl, tl, herr := c.hier()
+		if herr != nil {
+			return herr
+		}
+		return hierReduce(&e, cl, tl, root, buf, tmp, count, es, dt, op)
+	}
 	return hybridReduce(&e, s, root, buf, tmp, count, es, dt, op)
 }
 
@@ -118,6 +140,13 @@ func AllReduce(c Ctx, s model.Shape, buf, tmp []byte, count int, dt datatype.Typ
 	}
 	if err := checkBuf("all-reduce scratch", e.carry, tmp, count*es); err != nil {
 		return err
+	}
+	if s.Hier {
+		cl, tl, herr := c.hier()
+		if herr != nil {
+			return herr
+		}
+		return hierAllReduce(&e, cl, tl, buf, tmp, count, es, dt, op)
 	}
 	return hybridAllReduce(&e, s, buf, tmp, count, es, dt, op)
 }
@@ -137,6 +166,11 @@ func Scatter(c Ctx, s model.Shape, root int, buf []byte, counts []int, es int) e
 	if err != nil {
 		return err
 	}
+	if s.Hier {
+		// The hierarchy buys scatter nothing (the root still injects every
+		// byte once); run the flat MST scatter over the linear group.
+		s = flatShape(e.p())
+	}
 	return hybridScatter(&e, s, root, offs, buf)
 }
 
@@ -155,6 +189,10 @@ func Gather(c Ctx, s model.Shape, root int, buf []byte, counts []int, es int) er
 	if err != nil {
 		return err
 	}
+	if s.Hier {
+		// Like scatter, gather gains nothing from the hierarchy.
+		s = flatShape(e.p())
+	}
 	return hybridGather(&e, s, root, offs, buf)
 }
 
@@ -169,6 +207,13 @@ func Collect(c Ctx, s model.Shape, buf []byte, counts []int, es int) error {
 	offs, err := countOffsets(c, counts, es, e.carry, buf)
 	if err != nil {
 		return err
+	}
+	if s.Hier {
+		cl, tl, herr := c.hier()
+		if herr != nil {
+			return herr
+		}
+		return hierCollect(&e, cl, tl, offs, buf)
 	}
 	return hybridCollect(&e, s, offs, buf)
 }
@@ -189,6 +234,13 @@ func ReduceScatter(c Ctx, s model.Shape, buf, tmp []byte, counts []int, dt datat
 	}
 	if err := checkBuf("reduce-scatter scratch", e.carry, tmp, offs[len(offs)-1]); err != nil {
 		return err
+	}
+	if s.Hier {
+		cl, tl, herr := c.hier()
+		if herr != nil {
+			return herr
+		}
+		return hierReduceScatter(&e, cl, tl, offs, buf, tmp, dt, op)
 	}
 	return hybridReduceScatter(&e, s, offs, buf, tmp, dt, op)
 }

@@ -31,13 +31,17 @@ type env struct {
 	carry   bool // endpoint transports payload bytes
 	mach    model.Machine
 	hasMach bool
+	// phaseOff offsets every phase this env emits, so that the stages of a
+	// hierarchical collective — each of which runs a complete flat
+	// collective with its own phase numbering — occupy disjoint tag ranges.
+	phaseOff uint32
 }
 
 func (e *env) p() int { return len(e.members) }
 
 // tag builds the message tag for a phase and step of this invocation.
 func (e *env) tag(phase uint32, step int) transport.Tag {
-	return transport.Compose(e.coll, phase, uint32(step))
+	return transport.Compose(e.coll, e.phaseOff+phase, uint32(step))
 }
 
 // send transmits n bytes of p (which may be nil in timing-only mode) to
@@ -152,5 +156,6 @@ func (e *env) dimEnv(d model.Dim) env {
 	return env{
 		ep: e.ep, members: members, me: x,
 		coll: e.coll, carry: e.carry, mach: e.mach, hasMach: e.hasMach,
+		phaseOff: e.phaseOff,
 	}
 }

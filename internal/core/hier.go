@@ -1,0 +1,422 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datatype"
+	"repro/internal/group"
+	"repro/internal/model"
+)
+
+// Hierarchical two-level collectives. The paper builds every collective
+// from composable building blocks; this file composes those same blocks
+// across a two-level machine: an intra-cluster phase runs inside each
+// cluster (cheap local network), a leader-level phase runs among one
+// representative per cluster (expensive global network). Each phase is a
+// complete flat collective over a sub-group, executed by the existing
+// hybrid machinery, so the short/long/hybrid menu of §4–§6 is reused
+// per level rather than reimplemented.
+//
+// Data placement: broadcast, reduce and all-reduce move whole vectors, so
+// any cluster partition works in place. Collect and reduce-scatter carve
+// the vector into per-node segments; when every cluster is a contiguous
+// run of logical indices the cluster blocks are index-contiguous and the
+// phases run in place, otherwise the leader phase runs over a packed copy
+// of the vector (cluster blocks made contiguous in scratch) and unpacks
+// afterwards.
+
+// hierStagePhases is the tag-phase stride between hierarchical stages, so
+// each stage's inner collective gets a disjoint phase range.
+const hierStagePhases = 8
+
+// hier resolves the invocation's cluster partition and two-level machine.
+func (c Ctx) hier() (group.Cluster, model.TwoLevel, error) {
+	if c.Clusters == nil {
+		return group.Cluster{}, model.TwoLevel{}, fmt.Errorf("core: hierarchical shape without a cluster partition")
+	}
+	cl := *c.Clusters
+	if err := cl.Validate(len(c.Members)); err != nil {
+		return group.Cluster{}, model.TwoLevel{}, err
+	}
+	var tl model.TwoLevel
+	switch {
+	case c.Hier != nil:
+		tl = *c.Hier
+	case c.Machine != nil:
+		tl = model.Uniform(*c.Machine)
+	default:
+		tl = model.Uniform(model.ParagonLike())
+	}
+	return cl, tl, nil
+}
+
+// subEnv restricts e to the listed logical indices (of e's own index
+// space), offsetting tag phases by phaseOff. ok reports whether this node
+// is a member; non-members skip the phase.
+func subEnv(e *env, idxs []int, phaseOff uint32) (env, bool) {
+	me := -1
+	members := make([]int, len(idxs))
+	for t, ix := range idxs {
+		members[t] = e.members[ix]
+		if ix == e.me {
+			me = t
+		}
+	}
+	return env{
+		ep: e.ep, members: members, me: me,
+		coll: e.coll, carry: e.carry, mach: e.mach, hasMach: e.hasMach,
+		phaseOff: e.phaseOff + phaseOff,
+	}, me >= 0
+}
+
+// flatShape is the linear-array MST shape of a p-node group.
+func flatShape(p int) model.Shape {
+	return model.Shape{Dims: []model.Dim{{Size: p, Stride: 1, Conflict: 1}}, ShortFrom: 0}
+}
+
+// linShape views q nodes as one logical dimension; shortFrom 0 selects the
+// short (MST) algorithm, 1 the long (bucket) algorithm.
+func linShape(q, shortFrom int) model.Shape {
+	return model.Shape{Dims: []model.Dim{{Size: q, Stride: 1, Conflict: 1}}, ShortFrom: shortFrom}
+}
+
+// phaseShape picks the cheaper fixed endpoint — short (MST) or long
+// (bucket) — for one phase of a hierarchical collective: collective coll
+// over q nodes moving n bytes on machine m. This mirrors
+// model.TwoLevel.HierCost; the menus must stay aligned for the planner's
+// hierarchy-versus-flat decision to be trustworthy.
+func phaseShape(m model.Machine, coll model.Collective, q, n int) model.Shape {
+	nf := float64(n)
+	var short, long float64
+	switch coll {
+	case model.Bcast:
+		short, long = m.MSTBcast(q, nf, 1), m.LongBcast(q, nf, 1)
+	case model.Reduce:
+		short, long = m.MSTReduce(q, nf, 1), m.LongReduce(q, nf, 1)
+	case model.AllReduce:
+		short, long = m.ShortAllReduce(q, nf, 1), m.LongAllReduce(q, nf, 1)
+	case model.Collect:
+		short, long = m.ShortCollect(q, nf, 1), m.BucketCollect(q, nf, 1)
+	case model.ReduceScatter:
+		short, long = m.ShortReduceScatter(q, nf, 1), m.BucketReduceScatter(q, nf, 1)
+	default:
+		return linShape(q, 0)
+	}
+	if long < short {
+		return linShape(q, 1)
+	}
+	return linShape(q, 0)
+}
+
+// indexOf returns the position of idx in the ascending-or-not list.
+func indexOf(list []int, idx int) int {
+	for t, v := range list {
+		if v == idx {
+			return t
+		}
+	}
+	return -1
+}
+
+// reps returns the leader-level group: each cluster's leader, except that
+// root's cluster is represented by root itself, so rooted collectives pay
+// no extra hop moving data between root and its cluster's leader.
+func reps(cl group.Cluster, root int) []int {
+	r := append([]int(nil), cl.Leaders()...)
+	r[cl.Of(root)] = root
+	return r
+}
+
+// hierBcast: leader-level broadcast from root among representatives, then
+// an intra-cluster broadcast from each representative.
+func hierBcast(e *env, cl group.Cluster, tl model.TwoLevel, root int, buf []byte, count, es int) error {
+	n := count * es
+	rp := reps(cl, root)
+	if sub, ok := subEnv(e, rp, 0); ok {
+		s := phaseShape(tl.Global, model.Bcast, cl.K(), n)
+		if err := hybridBcast(&sub, s, cl.Of(root), buf, count, es); err != nil {
+			return err
+		}
+	}
+	mem := cl.Members(cl.Of(e.me))
+	if len(mem) > 1 {
+		sub, _ := subEnv(e, mem, hierStagePhases)
+		s := phaseShape(tl.Local, model.Bcast, len(mem), n)
+		if err := hybridBcast(&sub, s, indexOf(mem, rp[cl.Of(e.me)]), buf, count, es); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hierReduce: intra-cluster combine-to-one at each representative, then a
+// leader-level combine-to-one at root.
+func hierReduce(e *env, cl group.Cluster, tl model.TwoLevel, root int, buf, tmp []byte, count, es int, dt datatype.Type, op datatype.Op) error {
+	n := count * es
+	rp := reps(cl, root)
+	mem := cl.Members(cl.Of(e.me))
+	if len(mem) > 1 {
+		sub, _ := subEnv(e, mem, 0)
+		s := phaseShape(tl.Local, model.Reduce, len(mem), n)
+		if err := hybridReduce(&sub, s, indexOf(mem, rp[cl.Of(e.me)]), buf, tmp, count, es, dt, op); err != nil {
+			return err
+		}
+	}
+	if sub, ok := subEnv(e, rp, hierStagePhases); ok {
+		s := phaseShape(tl.Global, model.Reduce, cl.K(), n)
+		if err := hybridReduce(&sub, s, cl.Of(root), buf, tmp, count, es, dt, op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hierAllReduce: intra-cluster combine-to-one at each leader, leader-level
+// combine-to-all, then an intra-cluster broadcast of the result.
+func hierAllReduce(e *env, cl group.Cluster, tl model.TwoLevel, buf, tmp []byte, count, es int, dt datatype.Type, op datatype.Op) error {
+	n := count * es
+	mem := cl.Members(cl.Of(e.me))
+	if len(mem) > 1 {
+		sub, _ := subEnv(e, mem, 0)
+		s := phaseShape(tl.Local, model.Reduce, len(mem), n)
+		if err := hybridReduce(&sub, s, 0, buf, tmp, count, es, dt, op); err != nil {
+			return err
+		}
+	}
+	if sub, ok := subEnv(e, cl.Leaders(), hierStagePhases); ok {
+		s := phaseShape(tl.Global, model.AllReduce, cl.K(), n)
+		if err := hybridAllReduce(&sub, s, buf, tmp, count, es, dt, op); err != nil {
+			return err
+		}
+	}
+	if len(mem) > 1 {
+		sub, _ := subEnv(e, mem, 2*hierStagePhases)
+		s := phaseShape(tl.Local, model.Bcast, len(mem), n)
+		if err := hybridBcast(&sub, s, 0, buf, count, es); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// packing describes the permuted vector layout in which every cluster's
+// bytes are contiguous: cluster blocks in cluster order, member segments in
+// ascending index order within each block.
+type packing struct {
+	segOff   []int // segOff[i] = packed byte offset of logical node i's segment
+	blockOff []int // blockOff[k] = packed byte offset of cluster k's block; len K+1
+}
+
+func newPacking(cl group.Cluster, offs []int) packing {
+	p := packing{
+		segOff:   make([]int, cl.P()),
+		blockOff: make([]int, cl.K()+1),
+	}
+	at := 0
+	for k := 0; k < cl.K(); k++ {
+		p.blockOff[k] = at
+		for _, i := range cl.Members(k) {
+			p.segOff[i] = at
+			at += offs[i+1] - offs[i]
+		}
+	}
+	p.blockOff[cl.K()] = at
+	return p
+}
+
+// pack copies every segment of src into its packed position in dst;
+// unpack is the inverse. Both are no-ops in timing-only mode.
+func (pk packing) pack(e *env, cl group.Cluster, offs []int, dst, src []byte) {
+	if !e.carry {
+		return
+	}
+	for i := 0; i < cl.P(); i++ {
+		n := offs[i+1] - offs[i]
+		copy(dst[pk.segOff[i]:pk.segOff[i]+n], src[offs[i]:offs[i+1]])
+	}
+}
+
+func (pk packing) unpack(e *env, cl group.Cluster, offs []int, dst, src []byte) {
+	if !e.carry {
+		return
+	}
+	for i := 0; i < cl.P(); i++ {
+		n := offs[i+1] - offs[i]
+		copy(dst[offs[i]:offs[i+1]], src[pk.segOff[i]:pk.segOff[i]+n])
+	}
+}
+
+// clusterOffs returns the K+1 byte offsets of the cluster blocks of a
+// contiguous partition — offs restricted to cluster boundaries.
+func clusterOffs(cl group.Cluster, offs []int) []int {
+	lo := make([]int, cl.K()+1)
+	for k := 0; k < cl.K(); k++ {
+		lo[k] = offs[cl.Members(k)[0]]
+	}
+	lo[cl.K()] = offs[len(offs)-1]
+	return lo
+}
+
+// memberOffs returns the byte offsets of one cluster's member segments,
+// valid only for a contiguous cluster.
+func memberOffs(mem []int, offs []int) []int {
+	g := make([]int, len(mem)+1)
+	for t, i := range mem {
+		g[t] = offs[i]
+	}
+	g[len(mem)] = offs[mem[len(mem)-1]+1]
+	return g
+}
+
+// hierCollect: intra-cluster gather to each leader, leader-level collect
+// of the cluster blocks, then an intra-cluster broadcast of the whole
+// vector. Contiguous partitions run in place; arbitrary partitions gather
+// point-to-point and run the leader collect over a packed copy.
+func hierCollect(e *env, cl group.Cluster, tl model.TwoLevel, offs []int, buf []byte) error {
+	total := offs[len(offs)-1]
+	myC := cl.Of(e.me)
+	mem := cl.Members(myC)
+	leader := mem[0]
+	contig := cl.Contiguous()
+
+	// Stage 1: assemble the cluster's block at its leader.
+	if len(mem) > 1 {
+		if contig {
+			sub, _ := subEnv(e, mem, 0)
+			if err := mstGather(&sub, 0, 0, memberOffs(mem, offs), buf, 0); err != nil {
+				return err
+			}
+		} else if err := directGather(e, mem, leader, offs, buf, 0); err != nil {
+			return err
+		}
+	}
+
+	// Stage 2: leaders exchange cluster blocks.
+	if e.me == leader && cl.K() > 1 {
+		s := phaseShape(tl.Global, model.Collect, cl.K(), total)
+		sub, _ := subEnv(e, cl.Leaders(), hierStagePhases)
+		if contig {
+			if err := hybridCollect(&sub, s, clusterOffs(cl, offs), buf); err != nil {
+				return err
+			}
+		} else {
+			pk := newPacking(cl, offs)
+			scratch := e.alloc(total)
+			pk.pack(e, cl, offs, scratch, buf)
+			if err := hybridCollect(&sub, s, pk.blockOff, scratch); err != nil {
+				return err
+			}
+			pk.unpack(e, cl, offs, buf, scratch)
+		}
+	}
+
+	// Stage 3: broadcast the assembled vector inside each cluster.
+	if len(mem) > 1 {
+		sub, _ := subEnv(e, mem, 2*hierStagePhases)
+		s := phaseShape(tl.Local, model.Bcast, len(mem), total)
+		if err := hybridBcast(&sub, s, 0, buf, total, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hierReduceScatter: intra-cluster combine-to-one of the full vector at
+// each leader, leader-level distributed combine over the cluster blocks,
+// then an intra-cluster scatter of each block's member segments.
+func hierReduceScatter(e *env, cl group.Cluster, tl model.TwoLevel, offs []int, buf, tmp []byte, dt datatype.Type, op datatype.Op) error {
+	total := offs[len(offs)-1]
+	es := dt.Size()
+	count := total / es
+	myC := cl.Of(e.me)
+	mem := cl.Members(myC)
+	leader := mem[0]
+	contig := cl.Contiguous()
+
+	// Stage 1: combine full contributions at the cluster leader.
+	if len(mem) > 1 {
+		sub, _ := subEnv(e, mem, 0)
+		s := phaseShape(tl.Local, model.Reduce, len(mem), total)
+		if err := hybridReduce(&sub, s, 0, buf, tmp, count, es, dt, op); err != nil {
+			return err
+		}
+	}
+
+	// Stage 2: leaders run the distributed combine over cluster blocks.
+	if e.me == leader && cl.K() > 1 {
+		s := phaseShape(tl.Global, model.ReduceScatter, cl.K(), total)
+		sub, _ := subEnv(e, cl.Leaders(), hierStagePhases)
+		if contig {
+			if err := hybridReduceScatter(&sub, s, clusterOffs(cl, offs), buf, tmp, dt, op); err != nil {
+				return err
+			}
+		} else {
+			pk := newPacking(cl, offs)
+			scratch := e.alloc(total)
+			scratch2 := e.alloc(total)
+			pk.pack(e, cl, offs, scratch, buf)
+			if err := hybridReduceScatter(&sub, s, pk.blockOff, scratch, scratch2, dt, op); err != nil {
+				return err
+			}
+			pk.unpack(e, cl, offs, buf, scratch)
+		}
+	}
+
+	// Stage 3: scatter the block's member segments inside each cluster.
+	if len(mem) > 1 {
+		if contig {
+			sub, _ := subEnv(e, mem, 2*hierStagePhases)
+			if err := mstScatter(&sub, 0, 0, memberOffs(mem, offs), buf, 0); err != nil {
+				return err
+			}
+		} else if err := directScatter(e, mem, leader, offs, buf, 2*hierStagePhases); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// directGather assembles each member's segment at the leader with direct
+// point-to-point messages — the fallback when a cluster's segments are not
+// index-contiguous, so the range-based MST primitives cannot address them.
+func directGather(e *env, mem []int, leader int, offs []int, buf []byte, phase uint32) error {
+	if e.me == leader {
+		for t, i := range mem {
+			if i == leader {
+				continue
+			}
+			n := offs[i+1] - offs[i]
+			e.stepOverhead()
+			if err := e.recv(i, e.tag(phase, t), sliceRange(e, buf, offs[i], offs[i+1]), n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	t := indexOf(mem, e.me)
+	n := offs[e.me+1] - offs[e.me]
+	e.stepOverhead()
+	return e.send(leader, e.tag(phase, t), sliceRange(e, buf, offs[e.me], offs[e.me+1]), n)
+}
+
+// directScatter is directGather in reverse: the leader sends each member
+// its own segment.
+func directScatter(e *env, mem []int, leader int, offs []int, buf []byte, phase uint32) error {
+	if e.me == leader {
+		for t, i := range mem {
+			if i == leader {
+				continue
+			}
+			n := offs[i+1] - offs[i]
+			e.stepOverhead()
+			if err := e.send(i, e.tag(phase, t), sliceRange(e, buf, offs[i], offs[i+1]), n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	t := indexOf(mem, e.me)
+	n := offs[e.me+1] - offs[e.me]
+	e.stepOverhead()
+	return e.recv(leader, e.tag(phase, t), sliceRange(e, buf, offs[e.me], offs[e.me+1]), n)
+}

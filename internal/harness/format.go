@@ -8,16 +8,29 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
 
 // Table is a printable experiment result.
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// TablesJSON renders tables as a JSON array of {"title", "header",
+// "rows", "notes"} objects — the schema every sweep-style cmd/ tool emits
+// under its -json flag, so perf trajectories from different tools are
+// directly comparable.
+func TablesJSON(ts []Table) (string, error) {
+	b, err := json.MarshalIndent(ts, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
 }
 
 // String renders the table with aligned columns, suitable for terminals

@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/group"
+	"repro/internal/model"
+	"repro/internal/simnet"
+)
+
+// HierSweep compares flat and hierarchical collectives on a simulated
+// two-level machine: nClusters clusters of perCluster ranks, intra-cluster
+// messages on tl.Local's α/β, inter-cluster messages on tl.Global's. For
+// each message length it times the flat fixed algorithms (MST, bucket),
+// the flat auto hybrid (planned with the global parameters, the honest
+// flat choice on a clustered net), and the two-level hierarchical
+// composition, and reports the hierarchy's speedup over the best flat run.
+
+// Placement names a rank→node assignment convention.
+type Placement string
+
+// Placements: Blocks is the node-major convention (consecutive ranks
+// share a node — the layout stride-based flat hybrids happen to align
+// with); RoundRobin deals ranks across nodes cyclically (cluster of rank
+// r is r mod K), the placement that defeats structure-blind planning and
+// where the declared cluster map earns its keep.
+const (
+	Blocks     Placement = "blocks"
+	RoundRobin Placement = "round-robin"
+)
+
+// assign returns the rank→cluster map of the placement.
+func (pl Placement) assign(nClusters, perCluster int) []int {
+	p := nClusters * perCluster
+	of := make([]int, p)
+	for r := range of {
+		if pl == RoundRobin {
+			of[r] = r % nClusters
+		} else {
+			of[r] = r / perCluster
+		}
+	}
+	return of
+}
+
+// runClustered times one collective on the clustered simulated machine
+// under the given shape.
+func runClustered(coll model.Collective, nClusters, perCluster, n int, tl model.TwoLevel, pl Placement, s model.Shape) (float64, error) {
+	p := nClusters * perCluster
+	of := pl.assign(nClusters, perCluster)
+	cl, err := group.NewCluster(of)
+	if err != nil {
+		return 0, err
+	}
+	res, err := simnet.Run(simnet.Config{
+		Rows: nClusters, Cols: perCluster,
+		Machine: tl.Local, ClusterSize: perCluster, Inter: tl.Global,
+		ClusterOf: of,
+	}, func(ep *simnet.Endpoint) error {
+		c := core.NewCtx(ep, 1)
+		mach := tl.Local
+		c.Machine = &mach
+		c.Clusters = &cl
+		c.Hier = &tl
+		counts := core.EqualCounts(n, p)
+		switch coll {
+		case model.Bcast:
+			return core.Bcast(c, s, 0, nil, n, 1)
+		case model.Reduce:
+			return core.Reduce(c, s, 0, nil, nil, n, datatype.Uint8, datatype.Sum)
+		case model.Collect:
+			return core.Collect(c, s, nil, counts, 1)
+		case model.ReduceScatter:
+			return core.ReduceScatter(c, s, nil, nil, counts, datatype.Uint8, datatype.Sum)
+		default:
+			return core.AllReduce(c, s, nil, nil, n, datatype.Uint8, datatype.Sum)
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Time, nil
+}
+
+// HierPoint times one collective at one length on the clustered machine,
+// returning the flat auto hybrid's and the hierarchy's simulated seconds —
+// the benchmark-friendly core of HierSweep.
+func HierPoint(coll model.Collective, nClusters, perCluster, n int, tl model.TwoLevel, place Placement) (flatAuto, hier float64, err error) {
+	pl := model.NewPlanner(tl.Global)
+	s, _ := pl.Best(coll, group.Linear(nClusters*perCluster), n)
+	flatAuto, err = runClustered(coll, nClusters, perCluster, n, tl, place, s)
+	if err != nil {
+		return 0, 0, err
+	}
+	hier, err = runClustered(coll, nClusters, perCluster, n, tl, place, model.HierShape())
+	return flatAuto, hier, err
+}
+
+// HierSweep produces the flat-versus-hierarchical table for one collective
+// on an nClusters×perCluster two-level machine. The flat algorithms plan
+// over a linear array — §9's policy for groups whose physical structure
+// the library does not know, which is exactly a cluster whose rank→node
+// map has not been declared — while the hierarchy exploits the map.
+func HierSweep(coll model.Collective, nClusters, perCluster int, tl model.TwoLevel, place Placement, lengths []int) (Table, error) {
+	layout := group.Linear(nClusters * perCluster)
+	pl := model.NewPlanner(tl.Global)
+	t := Table{
+		Title: fmt.Sprintf("hierarchy: %v on %d clusters × %d ranks (%s placement), inter/intra β ratio %.0f, time (s)",
+			coll, nClusters, perCluster, place, tl.Global.Beta/tl.Local.Beta),
+		Header: []string{"bytes", "flat short", "flat long", "flat auto", "hier", "speedup"},
+		Notes: []string{"flat algorithms plan the group as a linear array (structure-blind, §9); " +
+			"hier composes intra-cluster and leader-level phases from the declared cluster map"},
+	}
+	for _, n := range lengths {
+		short, err := runClustered(coll, nClusters, perCluster, n, tl, place, model.MSTShape(layout))
+		if err != nil {
+			return t, fmt.Errorf("%v flat short n=%d: %w", coll, n, err)
+		}
+		long, err := runClustered(coll, nClusters, perCluster, n, tl, place, model.BucketShape(layout))
+		if err != nil {
+			return t, fmt.Errorf("%v flat long n=%d: %w", coll, n, err)
+		}
+		s, _ := pl.Best(coll, layout, n)
+		auto, err := runClustered(coll, nClusters, perCluster, n, tl, place, s)
+		if err != nil {
+			return t, fmt.Errorf("%v flat auto n=%d: %w", coll, n, err)
+		}
+		hier, err := runClustered(coll, nClusters, perCluster, n, tl, place, model.HierShape())
+		if err != nil {
+			return t, fmt.Errorf("%v hier n=%d: %w", coll, n, err)
+		}
+		best := short
+		if long < best {
+			best = long
+		}
+		if auto < best {
+			best = auto
+		}
+		t.Rows = append(t.Rows, []string{
+			bytesLabel(n), secs(short), secs(long), secs(auto), secs(hier),
+			fmt.Sprintf("%.2f", best/hier),
+		})
+	}
+	return t, nil
+}

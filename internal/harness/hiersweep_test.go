@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestHierBeatsFlatAtScale pins the headline property of the hierarchical
+// collectives: on two-level machines of 64 and 256 ranks whose
+// inter-cluster β is 10× the intra-cluster β, with round-robin rank
+// placement (the case structure-blind flat planning cannot see),
+// hierarchical all-reduce and broadcast beat the best flat auto hybrid at
+// bandwidth-relevant message lengths.
+func TestHierBeatsFlatAtScale(t *testing.T) {
+	tl := model.ClusterLike() // inter/intra α and β ratio 10
+	scales := [][2]int{{8, 8}, {16, 16}}
+	if testing.Short() {
+		scales = [][2]int{{8, 8}}
+	}
+	for _, sc := range scales {
+		for _, coll := range []model.Collective{model.AllReduce, model.Bcast} {
+			for _, n := range []int{65536, 1 << 20} {
+				t.Run(fmt.Sprintf("%v/%dx%d/n%d", coll, sc[0], sc[1], n), func(t *testing.T) {
+					flat, hier, err := HierPoint(coll, sc[0], sc[1], n, tl, RoundRobin)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if hier >= flat {
+						t.Fatalf("hier %.6fs not better than flat auto %.6fs", hier, flat)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestHierSweepRuns smoke-tests the sweep table (both placements) at a
+// small scale, including the non-contiguous pack/unpack paths that
+// round-robin placement exercises for collect and reduce-scatter.
+func TestHierSweepRuns(t *testing.T) {
+	tl := model.ClusterLike()
+	for _, place := range []Placement{Blocks, RoundRobin} {
+		for _, coll := range []model.Collective{model.Bcast, model.Reduce, model.AllReduce, model.Collect, model.ReduceScatter} {
+			tab, err := HierSweep(coll, 4, 4, tl, place, []int{8, 4096, 65536})
+			if err != nil {
+				t.Fatalf("%v %s: %v", coll, place, err)
+			}
+			if len(tab.Rows) != 3 {
+				t.Fatalf("%v %s: %d rows", coll, place, len(tab.Rows))
+			}
+		}
+	}
+}

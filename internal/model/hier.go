@@ -1,0 +1,138 @@
+package model
+
+import "math"
+
+// Two-level machines. Modern clusters expose two very different networks:
+// ranks sharing a node talk through memory (low α, high bandwidth), ranks
+// on different nodes through a NIC (higher α, lower bandwidth). A TwoLevel
+// machine holds both parameter sets; its cost functions price the
+// hierarchical composition of the paper's building blocks — intra-cluster
+// phases on the Local machine, a leader-level phase on the Global machine —
+// so the planner can decide per call whether the hierarchy beats the best
+// flat hybrid.
+
+// TwoLevel holds machine parameters for a two-level hierarchy.
+type TwoLevel struct {
+	// Local describes communication between ranks of the same cluster.
+	Local Machine
+	// Global describes communication between ranks of different clusters
+	// (the leader-level network).
+	Global Machine
+}
+
+// Validate checks both parameter sets.
+func (t TwoLevel) Validate() error {
+	if err := t.Local.Validate(); err != nil {
+		return err
+	}
+	return t.Global.Validate()
+}
+
+// Uniform returns the degenerate two-level machine whose local and global
+// levels are the same machine m. Its hierarchical costs strictly exceed
+// the flat costs (extra phases, no cheaper level), so auto-selection never
+// picks the hierarchy on it — the safe default when no cluster-aware
+// parameters are known.
+func Uniform(m Machine) TwoLevel { return TwoLevel{Local: m, Global: m} }
+
+// ClusterLike returns a representative modern two-level machine: a fast
+// intra-node fabric (memory/NVLink class) and an inter-node network ten
+// times worse in both startup latency and per-byte cost (NIC class) —
+// the regime where composing collectives hierarchically pays off.
+func ClusterLike() TwoLevel {
+	local := Machine{
+		Alpha:        5e-6,
+		Beta:         1.0 / 5e9,
+		Gamma:        1e-9,
+		LinkExcess:   2,
+		StepOverhead: 1e-6,
+	}
+	global := local
+	global.Alpha *= 10
+	global.Beta *= 10
+	return TwoLevel{Local: local, Global: global}
+}
+
+// HierShape returns the shape selecting the two-level hierarchical
+// strategy. The cluster partition travels with the invocation context.
+func HierShape() Shape { return Shape{Hier: true} }
+
+// Best-of-fixed-endpoint helpers: the hierarchical executor chooses per
+// phase between the short (MST) and long (bucket) linear-array algorithms,
+// so the cost of a phase is the cheaper of the two endpoints. These mirror
+// core.phaseShape; keeping the menus aligned is what makes the planner's
+// predictions trustworthy.
+
+func (m Machine) bestBcast(p int, n float64) float64 {
+	return math.Min(m.MSTBcast(p, n, 1), m.LongBcast(p, n, 1))
+}
+
+func (m Machine) bestReduce(p int, n float64) float64 {
+	return math.Min(m.MSTReduce(p, n, 1), m.LongReduce(p, n, 1))
+}
+
+func (m Machine) bestAllReduce(p int, n float64) float64 {
+	return math.Min(m.ShortAllReduce(p, n, 1), m.LongAllReduce(p, n, 1))
+}
+
+func (m Machine) bestCollect(p int, n float64) float64 {
+	return math.Min(m.ShortCollect(p, n, 1), m.BucketCollect(p, n, 1))
+}
+
+func (m Machine) bestReduceScatter(p int, n float64) float64 {
+	return math.Min(m.ShortReduceScatter(p, n, 1), m.BucketReduceScatter(p, n, 1))
+}
+
+// HierCost prices collective c with an n-byte vector under the two-level
+// composition, for a partition with the given cluster sizes. Intra-cluster
+// phases are charged on the Local machine for the largest cluster (phases
+// run concurrently across clusters; the largest finishes last); the
+// leader-level phase is charged on the Global machine over one
+// representative per cluster. contiguous states whether every cluster is
+// a run of consecutive ranks: non-contiguous partitions make the executor
+// fall back to linear direct gather/scatter for the edge phases of collect
+// and reduce-scatter ((q-1)α instead of ⌈log₂q⌉α), and the cost must
+// reflect that or the hierarchy gets selected where flat is cheaper.
+// Collectives the executor does not run hierarchically (scatter, gather)
+// cost +Inf so selection never picks them.
+func (t TwoLevel) HierCost(c Collective, sizes []int, contiguous bool, n float64) float64 {
+	k := len(sizes)
+	if k == 0 {
+		return math.Inf(1)
+	}
+	q := 0
+	for _, s := range sizes {
+		if s > q {
+			q = s
+		}
+	}
+	// Byte length of the largest cluster's block of an externally
+	// partitioned vector, under a near-equal partition.
+	p := 0
+	for _, s := range sizes {
+		p += s
+	}
+	nBlock := n * float64(q) / float64(p)
+	// Edge phases of the partitioned collectives: MST in place when the
+	// partition is contiguous, linear point-to-point otherwise.
+	gather := t.Local.MSTGather(q, nBlock, 1)
+	scatter := t.Local.MSTScatter(q, nBlock, 1)
+	if !contiguous {
+		linear := float64(q-1)*(t.Local.Alpha+t.Local.StepOverhead) + nBlock*t.Local.Beta
+		gather, scatter = linear, linear
+	}
+	switch c {
+	case Bcast:
+		return t.Global.bestBcast(k, n) + t.Local.bestBcast(q, n)
+	case Reduce:
+		return t.Local.bestReduce(q, n) + t.Global.bestReduce(k, n)
+	case AllReduce:
+		return t.Local.bestReduce(q, n) + t.Global.bestAllReduce(k, n) + t.Local.bestBcast(q, n)
+	case Collect:
+		return gather + t.Global.bestCollect(k, n) + t.Local.bestBcast(q, n)
+	case ReduceScatter:
+		return t.Local.bestReduce(q, n) + t.Global.bestReduceScatter(k, n) + scatter
+	default:
+		return math.Inf(1)
+	}
+}

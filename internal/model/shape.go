@@ -75,6 +75,13 @@ type Dim struct {
 type Shape struct {
 	Dims      []Dim
 	ShortFrom int
+	// Hier selects the two-level hierarchical strategy instead of a flat
+	// hybrid: collectives are composed of intra-cluster phases and a
+	// leader-level phase over one representative per cluster. The cluster
+	// partition itself travels with the invocation context, not the shape;
+	// Dims and ShortFrom are unused when Hier is set. See TwoLevel for the
+	// cost model that decides when the hierarchy wins.
+	Hier bool
 }
 
 // P returns the total number of nodes the shape spans.
@@ -90,6 +97,9 @@ func (s Shape) P() int {
 // paper's Table 2 notation: S for a long stage-1, M for a short dimension,
 // C for a long stage-2 — e.g. "SSMCC" for a 2×3×5 hybrid with ShortFrom 2.
 func (s Shape) Strategy() string {
+	if s.Hier {
+		return "H"
+	}
 	var b strings.Builder
 	for i := 0; i < s.ShortFrom; i++ {
 		b.WriteByte('S')
@@ -115,12 +125,22 @@ func (s Shape) Mesh() string {
 	return b.String()
 }
 
-// String renders the shape as "(2x3x5, SSMCC)", Table 2's pair notation.
-func (s Shape) String() string { return "(" + s.Mesh() + ", " + s.Strategy() + ")" }
+// String renders the shape as "(2x3x5, SSMCC)", Table 2's pair notation;
+// the hierarchical strategy renders as "(two-level, H)".
+func (s Shape) String() string {
+	if s.Hier {
+		return "(two-level, H)"
+	}
+	return "(" + s.Mesh() + ", " + s.Strategy() + ")"
+}
 
 // Validate checks internal consistency of the shape against a world of p
 // nodes.
 func (s Shape) Validate(p int) error {
+	if s.Hier {
+		// Dims are unused; the executor validates the cluster partition.
+		return nil
+	}
 	if len(s.Dims) == 0 {
 		return fmt.Errorf("model: shape has no dimensions")
 	}

@@ -105,6 +105,9 @@ func newEngine(cfg Config) *engine {
 	if cfg.Hypercube {
 		topo = newCubeTopology(cfg.Rows * cfg.Cols)
 	}
+	if cfg.ClusterSize > 0 {
+		topo = newClusteredTopology(topo, cfg.clusterAssign())
+	}
 	e := &engine{
 		cfg:   cfg,
 		topo:  topo,
@@ -172,16 +175,20 @@ func (e *engine) postOps(p *proc, ops ...*op) {
 
 // makeFlow matches a send with a receive.
 func (e *engine) makeFlow(key pairKey, s, r *op) {
+	alpha, beta := e.cfg.Machine.Alpha, e.cfg.Machine.Beta
+	if ct, ok := e.topo.(clusteredTopology); ok && ct.of[key.src] != ct.of[key.dst] {
+		alpha, beta = e.cfg.Inter.Alpha, e.cfg.Inter.Beta
+	}
 	f := &flow{
 		id: e.nextFlow, src: key.src, dst: key.dst,
 		send: s, recv: r,
 		links:  e.topo.path(key.src, key.dst),
-		remSec: float64(s.size) * e.cfg.Machine.Beta,
+		remSec: float64(s.size) * beta,
 	}
 	e.nextFlow++
 	e.messages++
 	t0 := math.Max(s.postAt, r.postAt)
-	f.activateAt = t0 + e.cfg.Machine.Alpha + e.noise(f.id)
+	f.activateAt = t0 + alpha + e.noise(f.id)
 	if s.tag != r.tag {
 		f.err = fmt.Errorf("%w: node %d expected tag %#x from %d, sender used %#x",
 			transport.ErrTagMismatch, key.dst, uint32(r.tag), key.src, uint32(s.tag))

@@ -49,6 +49,42 @@ type Config struct {
 	// sequence.
 	NoiseAmp  float64
 	NoiseSeed int64
+	// ClusterSize, when > 0, replaces the wormhole mesh with a modern
+	// cluster: consecutive runs of ClusterSize ranks form clusters
+	// (nodes; ClusterSize 1 makes every rank its own node, charging
+	// every message the inter-cluster parameters). A message whose
+	// endpoints lie in different clusters pays Inter.Alpha startup and
+	// Inter.Beta per byte instead of Machine's, and occupies the source
+	// cluster's single uplink and the destination cluster's single
+	// downlink — the NIC behind which all of a node's ranks sit — so
+	// concurrent inter-node flows of one node share its capacity.
+	// Intra-cluster messages contend only at the per-rank injection and
+	// ejection channels; mesh links are not used (rank ids carry no
+	// positional meaning on a switched cluster, and the switch core is
+	// modelled as non-blocking).
+	ClusterSize int
+	// Inter supplies the inter-cluster α and β (its other fields are
+	// ignored). Required when ClusterSize > 0.
+	Inter model.Machine
+	// ClusterOf optionally overrides the consecutive-blocks assignment
+	// with an explicit rank→cluster map (len Rows*Cols, ids 0..K-1),
+	// modelling deployments whose rank placement does not follow the
+	// node-major convention. Requires ClusterSize > 0 to enable the
+	// two-level overlay.
+	ClusterOf []int
+}
+
+// clusterAssign returns the rank→cluster map of a clustered config.
+func (c Config) clusterAssign() []int {
+	if c.ClusterOf != nil {
+		return c.ClusterOf
+	}
+	n := c.Rows * c.Cols
+	of := make([]int, n)
+	for i := range of {
+		of[i] = i / c.ClusterSize
+	}
+	return of
 }
 
 // Validate checks the configuration.
@@ -62,7 +98,37 @@ func (c Config) Validate() error {
 			return fmt.Errorf("simnet: hypercube needs a power-of-two node count, got %d", n)
 		}
 	}
+	if c.ClusterSize > 0 {
+		if c.Inter.Alpha < 0 || c.Inter.Beta <= 0 {
+			return fmt.Errorf("simnet: clustered config needs inter-cluster α ≥ 0 and β > 0, got %+v", c.Inter)
+		}
+		if c.ClusterOf != nil {
+			if len(c.ClusterOf) != c.Rows*c.Cols {
+				return fmt.Errorf("simnet: ClusterOf covers %d ranks, mesh has %d", len(c.ClusterOf), c.Rows*c.Cols)
+			}
+			for r, k := range c.ClusterOf {
+				if k < 0 || k >= c.Rows*c.Cols {
+					return fmt.Errorf("simnet: rank %d assigned to cluster %d", r, k)
+				}
+			}
+		}
+	} else if c.ClusterOf != nil {
+		return fmt.Errorf("simnet: ClusterOf requires ClusterSize > 0")
+	}
 	return c.Machine.Validate()
+}
+
+// TwoLevel returns the machine parameters of a clustered configuration as
+// a two-level model: Local is Machine, Global is Machine with the
+// inter-cluster α and β substituted. For unclustered configurations both
+// levels are Machine.
+func (c Config) TwoLevel() model.TwoLevel {
+	tl := model.TwoLevel{Local: c.Machine, Global: c.Machine}
+	if c.ClusterSize > 0 {
+		tl.Global.Alpha = c.Inter.Alpha
+		tl.Global.Beta = c.Inter.Beta
+	}
+	return tl
 }
 
 // Result reports aggregate statistics of a simulation run.
@@ -149,6 +215,12 @@ func (ep *Endpoint) Size() int { return ep.e.topo.nodes() }
 // Machine returns the simulated machine's parameters, letting the
 // collective layer plan with the same model the network obeys.
 func (ep *Endpoint) Machine() model.Machine { return ep.e.cfg.Machine }
+
+// TwoLevel returns the configured two-level machine (Config.TwoLevel),
+// letting the collective layer plan hierarchies with the same parameters
+// the network charges.
+func (ep *Endpoint) TwoLevel() model.TwoLevel { return ep.e.cfg.TwoLevel() }
+
 
 // CarriesData reports whether payload bytes are transported (Config.CarryData).
 func (ep *Endpoint) CarriesData() bool { return ep.e.cfg.CarryData }
