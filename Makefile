@@ -1,15 +1,23 @@
 # Tier-1 verification gate. `make verify` is what CI and every PR must
-# keep green: a full build, the complete test suite, and a short-mode pass
-# under the race detector (the transports are concurrent by construction;
-# chantransport runs every rank as a goroutine and tcptransport adds reader
-# goroutines per connection, so the race detector is part of the gate, not
-# an extra).
+# keep green: a full build, go vet, a gofmt cleanliness check, the complete
+# test suite, and a short-mode pass under the race detector (the transports
+# are concurrent by construction; chantransport runs every rank as a
+# goroutine and tcptransport adds reader goroutines per connection, so the
+# race detector is part of the gate, not an extra).
 
 GO ?= go
 
-.PHONY: verify build test race bench sweep hiersweep
+.PHONY: verify build vet fmtcheck test race bench sweep hiersweep
 
-verify: build test race
+verify: build vet fmtcheck test race
+
+vet:
+	$(GO) vet ./...
+
+fmtcheck:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...

@@ -147,6 +147,8 @@ func benchChannelCollective(b *testing.B, p, bytes int, alg icc.Alg, op string) 
 				return c.Bcast(send, bytes, icc.Uint8, 0)
 			case "allreduce":
 				return c.AllReduce(send, recv, bytes, icc.Uint8, icc.Sum)
+			case "alltoall":
+				return c.AllToAll(send, recv, bytes/p, icc.Uint8)
 			default:
 				cnt := bytes / p
 				return c.Collect(send[:cnt], recv, cnt, icc.Uint8)
@@ -182,6 +184,30 @@ func BenchmarkChannelCollect(b *testing.B) {
 	for _, p := range []int{4, 8, 16} {
 		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
 			benchChannelCollective(b, p, 1<<16, icc.AlgAuto, "collect")
+		})
+	}
+}
+
+// BenchmarkAllToAll: real wall-clock cost of the complete exchange over
+// the channel transport, across algorithm policies and vector lengths.
+func BenchmarkAllToAll(b *testing.B) {
+	for _, alg := range []icc.Alg{icc.AlgShort, icc.AlgLong, icc.AlgAuto} {
+		for _, n := range []int{1 << 10, 1 << 17} {
+			b.Run(fmt.Sprintf("%s/n%d", alg, n), func(b *testing.B) {
+				benchChannelCollective(b, 8, n, alg, "alltoall")
+			})
+		}
+	}
+}
+
+// BenchmarkHierAllToAll: the two-level complete exchange against the flat
+// auto schedule on the simulated clustered machine. Lengths are whole
+// multiples of the 64-rank group so the labels state the exact bytes
+// exchanged (the harness rounds up to a whole block per pair otherwise).
+func BenchmarkHierAllToAll(b *testing.B) {
+	for _, n := range []int{64, 65536, 1 << 20} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			benchHierPoint(b, model.AllToAll, n)
 		})
 	}
 }

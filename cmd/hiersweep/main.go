@@ -63,7 +63,7 @@ func main() {
 	var tables []harness.Table
 	for _, sc := range scales {
 		for _, place := range places {
-			for _, coll := range []model.Collective{model.Bcast, model.AllReduce, model.Reduce, model.Collect, model.ReduceScatter} {
+			for _, coll := range []model.Collective{model.Bcast, model.AllReduce, model.Reduce, model.Collect, model.ReduceScatter, model.AllToAll} {
 				tab, err := harness.HierSweep(coll, sc[0], sc[1], tl, place, lengths)
 				if err != nil {
 					log.Fatal(err)

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	opName := flag.String("op", "bcast", "collective: bcast, reduce, scatter, gather, collect, reducescatter, allreduce")
+	opName := flag.String("op", "bcast", "collective: bcast, reduce, scatter, gather, collect, reducescatter, allreduce, alltoall")
 	rows := flag.Int("rows", 1, "mesh rows (1 for a linear array)")
 	cols := flag.Int("cols", 30, "mesh columns")
 	bytes := flag.Int("bytes", 65536, "vector length in bytes")
@@ -33,6 +33,7 @@ func main() {
 		"bcast": model.Bcast, "reduce": model.Reduce, "scatter": model.Scatter,
 		"gather": model.Gather, "collect": model.Collect,
 		"reducescatter": model.ReduceScatter, "allreduce": model.AllReduce,
+		"alltoall": model.AllToAll,
 	}
 	coll, ok := colls[*opName]
 	if !ok {

@@ -422,6 +422,60 @@ func (c *Comm) ReduceScatter(send []byte, counts []int, recv []byte, dt Type, op
 	return nil
 }
 
+// AllToAll performs the complete exchange with equal per-pair counts:
+// send holds Size() blocks of count elements, block j destined to rank j;
+// on return recv holds Size() blocks, block j originating at rank j (the
+// distributed transpose). The automatic policy picks between the Bruck
+// relay (short vectors, ⌈log₂p⌉ steps) and the rotation/pairwise schedule
+// (long vectors, bandwidth-optimal) analytically, and composes the
+// exchange hierarchically on clustered communicators when the two-level
+// model predicts a win. send and recv must not overlap.
+func (c *Comm) AllToAll(send, recv []byte, count int, dt Type) error {
+	if count < 0 {
+		return fmt.Errorf("icc: negative count %d", count)
+	}
+	n := count * dt.Size() * c.Size()
+	var sb, rb []byte
+	if c.carries() {
+		if len(send) < n || len(recv) < n {
+			return fmt.Errorf("icc: all-to-all buffers %d/%d bytes, need %d", len(send), len(recv), n)
+		}
+		// The core only reads send and fully writes recv, so the user's
+		// buffers serve directly — no staging copies on the one collective
+		// whose vectors span p·count elements.
+		sb, rb = send[:n], recv[:n]
+	}
+	return core.AllToAll(c.ctx(), c.shape(model.AllToAll, n), sb, rb, count, dt.Size())
+}
+
+// AllToAllv is AllToAll with per-pair element counts: this rank sends
+// sendCounts[j] elements to rank j and receives recvCounts[j] elements
+// from rank j, so rank i's sendCounts[j] must equal rank j's
+// recvCounts[i]. Blocks travel directly (the pairwise schedule): relaying
+// schedules would require the full count matrix, which — as in
+// MPI_Alltoallv — no single rank holds.
+func (c *Comm) AllToAllv(send []byte, sendCounts []int, recv []byte, recvCounts []int, dt Type) error {
+	_, sTotal, err := c.offsets(sendCounts, dt)
+	if err != nil {
+		return err
+	}
+	_, rTotal, err := c.offsets(recvCounts, dt)
+	if err != nil {
+		return err
+	}
+	var sb, rb []byte
+	if c.carries() {
+		if len(send) < sTotal {
+			return fmt.Errorf("icc: all-to-allv send buffer %d bytes, need %d", len(send), sTotal)
+		}
+		if len(recv) < rTotal {
+			return fmt.Errorf("icc: all-to-allv recv buffer %d bytes, need %d", len(recv), rTotal)
+		}
+		sb, rb = send[:sTotal], recv[:rTotal]
+	}
+	return core.AllToAllv(c.ctx(), sb, sendCounts, rb, recvCounts, dt.Size())
+}
+
 // Barrier blocks until every node of the communicator has entered it,
 // implemented as a zero-length combine-to-all.
 func (c *Comm) Barrier() error {

@@ -63,6 +63,34 @@
 // uplink/downlink per cluster; cmd/hiersweep sweeps flat versus
 // hierarchical across scales and placements.
 //
+// # Complete exchange (all-to-all)
+//
+// Comm.AllToAll performs the one dense pattern Table 1 lacks: every rank
+// sends a personalized block to every other rank — the distributed
+// transpose underlying FFTs and matrix redistribution. Like the Table 1
+// operations it has a short-vector and a long-vector algorithm, selected
+// analytically per call:
+//
+//   - short vectors: a Bruck-style store-and-forward relay that finishes
+//     in ⌈log₂p⌉ steps, each moving about half the vector;
+//   - long vectors: a ring-rotation pairwise exchange — at step t each
+//     rank trades one block with the ranks ±t around the ring — taking
+//     p−1 steps but moving every byte exactly once.
+//
+// The model prices the two (model.ShortAllToAll, model.LongAllToAll) and
+// AlgAuto picks the crossover; AlgShort and AlgLong force the endpoints.
+// On clustered communicators the exchange also composes hierarchically:
+// members hand their vectors to the cluster leader, leaders trade Θ(K)
+// aggregated cluster-pair blocks over the shared NIC instead of the Θ(p)
+// per-rank messages a flat schedule pays, and leaders redistribute the
+// reassembled results — for arbitrary placements, since packing is by
+// cluster membership rather than index runs.
+//
+// Comm.AllToAllv is the ragged-count variant (per-pair element counts, as
+// in MPI_Alltoallv). Its blocks always travel directly via the pairwise
+// schedule: relaying or aggregating other ranks' blocks would require the
+// full count matrix, which no single rank holds.
+//
 // # Quick start
 //
 //	world := icc.NewChannelWorld(8)

@@ -26,7 +26,12 @@ import (
 
 // confSizes are the group sizes the suite covers, including
 // non-powers-of-two.
-var confSizes = []int{1, 2, 5, 8, 16}
+var confSizes = []int{1, 2, 3, 5, 8, 16}
+
+// confCounts covers the whole-vector element counts: empty vectors,
+// count < p (so hybrid stages see zero-length segments on the larger
+// groups), and a non-power-of-two bulk count.
+var confVecCounts = []int{0, 3, 17}
 
 // confCase is one public collective exercised on deterministic inputs.
 // run returns the bytes this rank observed (root-only outputs are
@@ -68,8 +73,17 @@ func confFloat64s(rank, count, salt int) []byte {
 	return buf
 }
 
-// conformanceCases lists all 11 public collectives.
-func conformanceCases(p int) []confCase {
+// confPairCount returns the deterministic per-pair count matrix entry for
+// the AllToAllv case: what src sends to dst, including zero blocks. The
+// whole-vector count scales the matrix, so the suite's count dimension
+// also exercises AllToAllv — count 0 runs the all-empty exchange.
+func confPairCount(src, dst, count int) int {
+	return (src*2 + dst*3 + 1) % 5 * count / 3
+}
+
+// conformanceCases lists all 13 public collectives at one whole-vector
+// element count (the v-variants keep their own ragged per-rank counts).
+func conformanceCases(p, count int) []confCase {
 	root := confRoot(p)
 	counts := confCounts(p)
 	total := 0
@@ -78,7 +92,6 @@ func conformanceCases(p int) []confCase {
 		total += n
 		offs[i+1] = offs[i] + n
 	}
-	const count = 17 // non-power-of-two element count for whole-vector ops
 	return []confCase{
 		{"Bcast", func(c *icc.Comm) ([]byte, error) {
 			buf := make([]byte, count*8)
@@ -150,6 +163,28 @@ func conformanceCases(p int) []confCase {
 			err := c.ReduceScatter(confInt64s(c.Rank(), total, 10), counts, recv, icc.Int64, icc.Sum)
 			return recv, err
 		}},
+		{"AllToAll", func(c *icc.Comm) ([]byte, error) {
+			send := confInt64s(c.Rank(), count*p, 11)
+			recv := make([]byte, count*p*8)
+			err := c.AllToAll(send, recv, count, icc.Int64)
+			return recv, err
+		}},
+		{"AllToAllv", func(c *icc.Comm) ([]byte, error) {
+			me := c.Rank()
+			sendCounts := make([]int, p)
+			recvCounts := make([]int, p)
+			sendTotal, recvTotal := 0, 0
+			for j := 0; j < p; j++ {
+				sendCounts[j] = confPairCount(me, j, count)
+				recvCounts[j] = confPairCount(j, me, count)
+				sendTotal += sendCounts[j]
+				recvTotal += recvCounts[j]
+			}
+			send := confInt64s(me, sendTotal, 12)
+			recv := make([]byte, recvTotal*8)
+			err := c.AllToAllv(send, sendCounts, recv, recvCounts, icc.Int64)
+			return recv, err
+		}},
 		{"Barrier", func(c *icc.Comm) ([]byte, error) {
 			return []byte{0xb7}, c.Barrier()
 		}},
@@ -158,8 +193,8 @@ func conformanceCases(p int) []confCase {
 
 // runConfProgram executes every conformance case in order on one rank and
 // stores its outputs.
-func runConfProgram(c *icc.Comm, outs [][][]byte) error {
-	for ci, cc := range conformanceCases(c.Size()) {
+func runConfProgram(c *icc.Comm, count int, outs [][][]byte) error {
+	for ci, cc := range conformanceCases(c.Size(), count) {
 		got, err := cc.run(c)
 		if err != nil {
 			return fmt.Errorf("%s: %w", cc.name, err)
@@ -169,29 +204,29 @@ func runConfProgram(c *icc.Comm, outs [][][]byte) error {
 	return nil
 }
 
-func newConfOuts(p int) [][][]byte {
+func newConfOuts(p, count int) [][][]byte {
 	outs := make([][][]byte, p)
 	for i := range outs {
-		outs[i] = make([][]byte, len(conformanceCases(p)))
+		outs[i] = make([][]byte, len(conformanceCases(p, count)))
 	}
 	return outs
 }
 
 // The three substrates.
 
-func confChan(t *testing.T, p int) [][][]byte {
+func confChan(t *testing.T, p, count int) [][][]byte {
 	t.Helper()
-	outs := newConfOuts(p)
+	outs := newConfOuts(p, count)
 	w := icc.NewChannelWorld(p)
-	if err := w.Run(func(c *icc.Comm) error { return runConfProgram(c, outs) }); err != nil {
+	if err := w.Run(func(c *icc.Comm) error { return runConfProgram(c, count, outs) }); err != nil {
 		t.Fatalf("chantransport: %v", err)
 	}
 	return outs
 }
 
-func confTCP(t *testing.T, p int) [][][]byte {
+func confTCP(t *testing.T, p, count int) [][][]byte {
 	t.Helper()
-	outs := newConfOuts(p)
+	outs := newConfOuts(p, count)
 	eps, err := tcptransport.NewLocalWorld(p, tcptransport.WithRecvTimeout(time.Minute))
 	if err != nil {
 		t.Fatalf("tcptransport: %v", err)
@@ -208,7 +243,7 @@ func confTCP(t *testing.T, p int) [][][]byte {
 				errs[r] = nerr
 				return
 			}
-			errs[r] = runConfProgram(c, outs)
+			errs[r] = runConfProgram(c, count, outs)
 		}(r)
 	}
 	wg.Wait()
@@ -220,40 +255,43 @@ func confTCP(t *testing.T, p int) [][][]byte {
 	return outs
 }
 
-func confSim(t *testing.T, p int) [][][]byte {
+func confSim(t *testing.T, p, count int) [][][]byte {
 	t.Helper()
-	outs := newConfOuts(p)
+	outs := newConfOuts(p, count)
 	_, err := icc.SimulateMesh(1, p, icc.ParagonMachine(), true,
-		func(c *icc.Comm) error { return runConfProgram(c, outs) })
+		func(c *icc.Comm) error { return runConfProgram(c, count, outs) })
 	if err != nil {
 		t.Fatalf("simnet: %v", err)
 	}
 	return outs
 }
 
-// TestConformanceAcrossTransports: all 11 public collectives × 3
-// transports × group sizes {1, 2, 5, 8, 16}, identical inputs, bitwise
-// identical per-rank results.
+// TestConformanceAcrossTransports: all 13 public collectives × 3
+// transports × group sizes {1, 2, 3, 5, 8, 16} × whole-vector counts
+// {0, 3, 17} (empty vectors and count < p included), identical inputs,
+// bitwise identical per-rank results.
 func TestConformanceAcrossTransports(t *testing.T) {
 	for _, p := range confSizes {
-		p := p
-		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
-			ref := confChan(t, p)
-			others := map[string][][][]byte{
-				"tcptransport": confTCP(t, p),
-				"simnet":       confSim(t, p),
-			}
-			cases := conformanceCases(p)
-			for name, got := range others {
-				for r := 0; r < p; r++ {
-					for ci, cc := range cases {
-						if !bytes.Equal(ref[r][ci], got[r][ci]) {
-							t.Errorf("%s: %s rank %d: %x != chantransport %x",
-								name, cc.name, r, got[r][ci], ref[r][ci])
+		for _, count := range confVecCounts {
+			p, count := p, count
+			t.Run(fmt.Sprintf("p%d/n%d", p, count), func(t *testing.T) {
+				ref := confChan(t, p, count)
+				others := map[string][][][]byte{
+					"tcptransport": confTCP(t, p, count),
+					"simnet":       confSim(t, p, count),
+				}
+				cases := conformanceCases(p, count)
+				for name, got := range others {
+					for r := 0; r < p; r++ {
+						for ci, cc := range cases {
+							if !bytes.Equal(ref[r][ci], got[r][ci]) {
+								t.Errorf("%s: %s rank %d: %x != chantransport %x",
+									name, cc.name, r, got[r][ci], ref[r][ci])
+							}
 						}
 					}
 				}
-			}
-		})
+			})
+		}
 	}
 }

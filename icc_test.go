@@ -383,3 +383,14 @@ func TestSubgroupStructureDetection(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestChannelWorldBadSize: an invalid world size surfaces as an error
+// from Run — the library-caller face of the chantransport validation.
+func TestChannelWorldBadSize(t *testing.T) {
+	for _, p := range []int{0, -2} {
+		w := icc.NewChannelWorld(p)
+		if err := w.Run(func(c *icc.Comm) error { return nil }); err == nil {
+			t.Errorf("world size %d accepted", p)
+		}
+	}
+}

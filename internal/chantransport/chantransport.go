@@ -52,10 +52,12 @@ func WithRecvTimeout(d time.Duration) Option {
 	return func(c *config) { c.timeout = d }
 }
 
-// NewWorld creates a world of size ranks.
-func NewWorld(size int, opts ...Option) *World {
+// NewWorld creates a world of size ranks. A non-positive size is an
+// error: library callers and cmd tools get a diagnosable failure rather
+// than a crash.
+func NewWorld(size int, opts ...Option) (*World, error) {
 	if size <= 0 {
-		panic(fmt.Sprintf("chantransport: world size %d", size))
+		return nil, fmt.Errorf("chantransport: world size %d, need at least 1", size)
 	}
 	cfg := config{buffer: 64}
 	for _, o := range opts {
@@ -69,19 +71,20 @@ func NewWorld(size int, opts ...Option) *World {
 			w.queue[s][d] = make(chan message, cfg.buffer)
 		}
 	}
-	return w
+	return w, nil
 }
 
 // Size returns the number of ranks in the world.
 func (w *World) Size() int { return w.size }
 
-// Endpoint returns the endpoint for the given rank. Each rank's endpoint
-// must be used by a single goroutine at a time, matching the SPMD model.
-func (w *World) Endpoint(rank int) *Endpoint {
+// Endpoint returns the endpoint for the given rank, or an error when the
+// rank lies outside the world. Each rank's endpoint must be used by a
+// single goroutine at a time, matching the SPMD model.
+func (w *World) Endpoint(rank int) (*Endpoint, error) {
 	if rank < 0 || rank >= w.size {
-		panic(fmt.Sprintf("chantransport: rank %d outside world of %d", rank, w.size))
+		return nil, fmt.Errorf("%w: rank %d outside world of %d", transport.ErrRank, rank, w.size)
 	}
-	return &Endpoint{world: w, rank: rank}
+	return &Endpoint{world: w, rank: rank}, nil
 }
 
 // Run spawns one goroutine per rank executing fn and waits for all of them.
@@ -94,7 +97,12 @@ func (w *World) Run(fn func(ep *Endpoint) error) error {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			errs[r] = fn(w.Endpoint(r))
+			ep, err := w.Endpoint(r)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			errs[r] = fn(ep)
 		}(r)
 	}
 	wg.Wait()

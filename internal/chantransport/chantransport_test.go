@@ -10,9 +10,29 @@ import (
 	"repro/internal/transport"
 )
 
+// mustWorld builds a world or fails the test.
+func mustWorld(t *testing.T, size int, opts ...Option) *World {
+	t.Helper()
+	w, err := NewWorld(size, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// mustEndpoint fetches a rank's endpoint or fails the test.
+func mustEndpoint(t *testing.T, w *World, rank int) *Endpoint {
+	t.Helper()
+	ep, err := w.Endpoint(rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ep
+}
+
 // TestBasicSendRecv: payload integrity and length reporting.
 func TestBasicSendRecv(t *testing.T) {
-	w := NewWorld(2)
+	w := mustWorld(t, 2)
 	err := w.Run(func(ep *Endpoint) error {
 		if ep.Rank() == 0 {
 			return ep.Send(1, 9, []byte{1, 2, 3})
@@ -34,7 +54,7 @@ func TestBasicSendRecv(t *testing.T) {
 
 // TestSendCopiesBuffer: the sender may reuse its buffer immediately.
 func TestSendCopiesBuffer(t *testing.T) {
-	w := NewWorld(2)
+	w := mustWorld(t, 2)
 	err := w.Run(func(ep *Endpoint) error {
 		if ep.Rank() == 0 {
 			buf := []byte{42}
@@ -62,7 +82,10 @@ func TestSendCopiesBuffer(t *testing.T) {
 // TestFIFO: per-pair order is preserved under load.
 func TestFIFO(t *testing.T) {
 	const k = 500
-	w := NewWorld(2, WithBuffer(8))
+	w, werr := NewWorld(2, WithBuffer(8))
+	if werr != nil {
+		t.Fatal(werr)
+	}
 	err := w.Run(func(ep *Endpoint) error {
 		if ep.Rank() == 0 {
 			for i := 0; i < k; i++ {
@@ -90,9 +113,9 @@ func TestFIFO(t *testing.T) {
 
 // TestErrors: tag mismatch, truncation, rank bounds, closed endpoint.
 func TestErrors(t *testing.T) {
-	w := NewWorld(2)
-	ep0 := w.Endpoint(0)
-	ep1 := w.Endpoint(1)
+	w := mustWorld(t, 2)
+	ep0 := mustEndpoint(t, w, 0)
+	ep1 := mustEndpoint(t, w, 1)
 	if err := ep0.Send(1, 5, []byte{1, 2}); err != nil {
 		t.Fatal(err)
 	}
@@ -119,8 +142,8 @@ func TestErrors(t *testing.T) {
 
 // TestRecvTimeout: deadlocks become errors.
 func TestRecvTimeout(t *testing.T) {
-	w := NewWorld(2, WithRecvTimeout(20*time.Millisecond))
-	ep := w.Endpoint(0)
+	w := mustWorld(t, 2, WithRecvTimeout(20*time.Millisecond))
+	ep := mustEndpoint(t, w, 0)
 	start := time.Now()
 	if _, err := ep.Recv(1, 1, nil); err == nil {
 		t.Fatal("timeout did not fire")
@@ -135,7 +158,7 @@ func TestRecvTimeout(t *testing.T) {
 func TestRingSendRecvNoDeadlock(t *testing.T) {
 	for _, p := range []int{2, 3, 8, 9} {
 		p := p
-		w := NewWorld(p)
+		w := mustWorld(t, p)
 		err := w.Run(func(ep *Endpoint) error {
 			me := ep.Rank()
 			sb := []byte{byte(me)}
@@ -156,7 +179,7 @@ func TestRingSendRecvNoDeadlock(t *testing.T) {
 
 // TestRunPropagatesFirstError: the lowest-rank failure is reported.
 func TestRunPropagatesFirstError(t *testing.T) {
-	w := NewWorld(3)
+	w := mustWorld(t, 3)
 	err := w.Run(func(ep *Endpoint) error {
 		if ep.Rank() >= 1 {
 			return fmt.Errorf("boom %d", ep.Rank())
@@ -168,12 +191,26 @@ func TestRunPropagatesFirstError(t *testing.T) {
 	}
 }
 
-// TestWorldPanics: invalid construction panics loudly.
-func TestWorldPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("no panic for size 0")
+// TestNewWorldBadSize: invalid construction is a diagnosable error, not a
+// crash.
+func TestNewWorldBadSize(t *testing.T) {
+	for _, size := range []int{0, -3} {
+		if _, err := NewWorld(size); err == nil {
+			t.Errorf("size %d accepted", size)
 		}
-	}()
-	NewWorld(0)
+	}
+}
+
+// TestEndpointBadRank: out-of-range ranks are diagnosable errors carrying
+// transport.ErrRank.
+func TestEndpointBadRank(t *testing.T) {
+	w := mustWorld(t, 3)
+	for _, rank := range []int{-1, 3, 100} {
+		if _, err := w.Endpoint(rank); !errors.Is(err, transport.ErrRank) {
+			t.Errorf("rank %d: want ErrRank, got %v", rank, err)
+		}
+	}
+	if ep, err := w.Endpoint(2); err != nil || ep.Rank() != 2 {
+		t.Errorf("valid rank rejected: %v", err)
+	}
 }

@@ -16,7 +16,10 @@ import (
 // runWorld executes fn as an SPMD program over an in-process channel world.
 func runWorld(t *testing.T, p int, fn func(c Ctx) error) {
 	t.Helper()
-	w := chantransport.NewWorld(p, chantransport.WithRecvTimeout(30*time.Second))
+	w, err := chantransport.NewWorld(p, chantransport.WithRecvTimeout(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := w.Run(func(ep *chantransport.Endpoint) error {
 		return fn(NewCtx(ep, 1))
 	}); err != nil {

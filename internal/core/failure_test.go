@@ -53,7 +53,10 @@ func TestSendFailurePropagates(t *testing.T) {
 		for budget := int64(0); budget < 10; budget += 3 {
 			s, budget := s, budget
 			t.Run(fmt.Sprintf("%v/budget%d", s, budget), func(t *testing.T) {
-				w := chantransport.NewWorld(p, chantransport.WithRecvTimeout(300*time.Millisecond))
+				w, werr := chantransport.NewWorld(p, chantransport.WithRecvTimeout(300*time.Millisecond))
+				if werr != nil {
+					t.Fatal(werr)
+				}
 				shared := &atomic.Int64{}
 				shared.Store(budget)
 				errs := make(chan error, p)
@@ -94,7 +97,10 @@ func TestSendFailurePropagates(t *testing.T) {
 // that must communicate reports an error.
 func TestZeroBudgetEverythingFails(t *testing.T) {
 	const p = 4
-	w := chantransport.NewWorld(p, chantransport.WithRecvTimeout(200*time.Millisecond))
+	w, werr := chantransport.NewWorld(p, chantransport.WithRecvTimeout(200*time.Millisecond))
+	if werr != nil {
+		t.Fatal(werr)
+	}
 	shared := &atomic.Int64{}
 	s := model.MSTShape(group.Linear(p))
 	err := w.Run(func(ep *chantransport.Endpoint) error {

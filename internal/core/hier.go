@@ -99,6 +99,8 @@ func phaseShape(m model.Machine, coll model.Collective, q, n int) model.Shape {
 		short, long = m.ShortCollect(q, nf, 1), m.BucketCollect(q, nf, 1)
 	case model.ReduceScatter:
 		short, long = m.ShortReduceScatter(q, nf, 1), m.BucketReduceScatter(q, nf, 1)
+	case model.AllToAll:
+		short, long = m.ShortAllToAll(q, nf, 1), m.LongAllToAll(q, nf, 1)
 	default:
 		return linShape(q, 0)
 	}
@@ -370,6 +372,117 @@ func hierReduceScatter(e *env, cl group.Cluster, tl model.TwoLevel, offs []int, 
 				return err
 			}
 		} else if err := directScatter(e, mem, leader, offs, buf, 2*hierStagePhases); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hierAllToAll: members ship their whole personalized vector to the
+// cluster leader, leaders run a complete exchange of cluster-pair blocks
+// over the global network (the block for cluster d aggregates every
+// member-to-member block between the two clusters), and leaders
+// redistribute the reassembled per-member results — replacing the Θ(p)
+// NIC messages every rank pays under a flat schedule with Θ(K) aggregated
+// messages per leader. Packing is by cluster membership, not index runs,
+// so arbitrary (non-contiguous, uneven) placements need no special path.
+// Uneven cluster sizes force the pairwise schedule at the leader level
+// (the Bruck relay needs equal blocks), matching TwoLevel.HierCost.
+func hierAllToAll(e *env, cl group.Cluster, tl model.TwoLevel, send, recv []byte, count, es int) error {
+	p := e.p()
+	blk := count * es
+	n := p * blk
+	mem := cl.Members(cl.Of(e.me))
+	q := len(mem)
+	leader := mem[0]
+	K := cl.K()
+	myPos := indexOf(mem, e.me)
+
+	if e.me != leader {
+		// Stage 1: hand the whole vector to the leader; stage 3: receive
+		// the assembled result.
+		e.stepOverhead()
+		if err := e.send(leader, e.tag(0, myPos), sliceRange(e, send, 0, n), n); err != nil {
+			return err
+		}
+		e.stepOverhead()
+		return e.recv(leader, e.tag(2*hierStagePhases, myPos), sliceRange(e, recv, 0, n), n)
+	}
+
+	// Stage 1: gather members' full vectors, member order.
+	gbuf := e.alloc(q * n)
+	if e.carry {
+		copy(gbuf[myPos*n:(myPos+1)*n], send[:n])
+	}
+	for t, i := range mem {
+		if i == leader {
+			continue
+		}
+		e.stepOverhead()
+		if err := e.recv(i, e.tag(0, t), sliceRange(e, gbuf, t*n, (t+1)*n), n); err != nil {
+			return err
+		}
+	}
+
+	// Stage 2: leaders exchange aggregated cluster-pair blocks. Block d
+	// holds, sender-member-major, every (my member t → cluster-d member u)
+	// block; both sides derive the same layout from the shared partition.
+	sizes := cl.Sizes()
+	bOffs := make([]int, K+1)
+	equal := true
+	for d := 0; d < K; d++ {
+		bOffs[d+1] = bOffs[d] + q*sizes[d]*blk
+		if sizes[d] != q {
+			equal = false
+		}
+	}
+	out := e.alloc(q * n)
+	in := e.alloc(q * n)
+	if e.carry {
+		at := 0
+		for d := 0; d < K; d++ {
+			for t := 0; t < q; t++ {
+				for _, u := range cl.Members(d) {
+					copy(out[at:at+blk], gbuf[t*n+u*blk:t*n+(u+1)*blk])
+					at += blk
+				}
+			}
+		}
+	}
+	sub, _ := subEnv(e, cl.Leaders(), hierStagePhases)
+	if s := phaseShape(tl.Global, model.AllToAll, K, q*n); equal && s.ShortFrom == 0 {
+		if err := bruckAllToAll(&sub, 0, out, in, q*q*count, es); err != nil {
+			return err
+		}
+	} else if err := pairwiseAllToAll(&sub, 0, bOffs, bOffs, out, in); err != nil {
+		return err
+	}
+
+	// Stage 3: reassemble each member's result vector and redistribute.
+	// gbuf is dead once out is packed, so it doubles as the reassembly
+	// buffer, keeping the leader's peak scratch at 3·q·n.
+	if e.carry {
+		pos := make([]int, p) // logical node → index within its cluster
+		for d := 0; d < K; d++ {
+			for ui, u := range cl.Members(d) {
+				pos[u] = ui
+			}
+		}
+		for t := 0; t < q; t++ {
+			for j := 0; j < p; j++ {
+				d := cl.Of(j)
+				src := bOffs[d] + (pos[j]*q+t)*blk
+				copy(gbuf[t*n+j*blk:t*n+(j+1)*blk], in[src:src+blk])
+			}
+		}
+		copy(recv[:n], gbuf[myPos*n:(myPos+1)*n])
+	}
+	for t, i := range mem {
+		if i == leader {
+			continue
+		}
+		e.stepOverhead()
+		if err := e.send(i, e.tag(2*hierStagePhases, t), sliceRange(e, gbuf, t*n, (t+1)*n), n); err != nil {
 			return err
 		}
 	}

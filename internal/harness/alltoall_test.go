@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestAllToAllCrossoverMatchesModel: on a switched machine (the regime the
+// α+nβ model describes exactly) the automatically selected complete
+// exchange rides the lower envelope of the two fixed schedules, and the
+// model's short/long pick agrees with the simulator at every length — the
+// §7.1 "accurate model" claim extended to the exchange.
+func TestAllToAllCrossoverMatchesModel(t *testing.T) {
+	const p = 32
+	lengths := []int{32, 1024, 16384, 65536, 1 << 20, 4 << 20}
+	tab, err := AllToAllCrossover(p, lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	picks := map[string]bool{}
+	for _, r := range tab.Rows {
+		var short, long, auto float64
+		if _, err := fmt.Sscan(r[1], &short); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmt.Sscan(r[2], &long); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmt.Sscan(r[3], &auto); err != nil {
+			t.Fatal(err)
+		}
+		best := short
+		if long < best {
+			best = long
+		}
+		if auto > best*1.05 {
+			t.Errorf("n=%s: auto %v exceeds best fixed %v by >5%%", r[0], auto, best)
+		}
+		if r[5] != "true" {
+			t.Errorf("n=%s: model picked %s but the simulator disagrees (short %v, long %v)",
+				r[0], r[4], short, long)
+		}
+		picks[r[4]] = true
+	}
+	if !picks["short"] || !picks["long"] {
+		t.Errorf("no crossover in the length range: picks %v", picks)
+	}
+}
+
+// TestHierAllToAllBeatsFlatAtScale: on a 64-rank clustered machine (8
+// clusters × 8 ranks, inter/intra α and β ratio 10, round-robin placement)
+// the hierarchical complete exchange beats the best flat schedule at
+// latency- and bandwidth-relevant lengths: leaders aggregate their
+// members' vectors into Θ(K) NIC messages where the flat schedules pay
+// Θ(p) per rank.
+func TestHierAllToAllBeatsFlatAtScale(t *testing.T) {
+	tl := model.ClusterLike()
+	scales := [][3]int{{8, 8, 65536}, {8, 8, 262144}, {16, 16, 65536}, {16, 16, 1 << 20}}
+	if testing.Short() {
+		scales = [][3]int{{8, 8, 65536}, {8, 8, 262144}}
+	}
+	for _, sc := range scales {
+		sc := sc
+		t.Run(fmt.Sprintf("%dx%d/n%d", sc[0], sc[1], sc[2]), func(t *testing.T) {
+			flat, hier, err := HierPoint(model.AllToAll, sc[0], sc[1], sc[2], tl, RoundRobin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hier >= flat {
+				t.Fatalf("hier %.6fs not better than flat auto %.6fs", hier, flat)
+			}
+		})
+	}
+}

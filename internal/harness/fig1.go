@@ -25,8 +25,11 @@ func Fig1() (string, error) {
 		{Size: 3, Stride: 4, Conflict: 4},
 	}, ShortFrom: 2}
 	rec := &trace.Recorder{}
-	w := chantransport.NewWorld(p, chantransport.WithRecvTimeout(time.Minute))
-	err := w.Run(func(ep *chantransport.Endpoint) error {
+	w, err := chantransport.NewWorld(p, chantransport.WithRecvTimeout(time.Minute))
+	if err != nil {
+		return "", err
+	}
+	err = w.Run(func(ep *chantransport.Endpoint) error {
 		c := core.Ctx{
 			EP:      rec.Wrap(ep),
 			Members: identity(p),

@@ -74,6 +74,8 @@ func runClustered(coll model.Collective, nClusters, perCluster, n int, tl model.
 			return core.Collect(c, s, nil, counts, 1)
 		case model.ReduceScatter:
 			return core.ReduceScatter(c, s, nil, nil, counts, datatype.Uint8, datatype.Sum)
+		case model.AllToAll:
+			return core.AllToAll(c, s, nil, nil, n/p, 1)
 		default:
 			return core.AllReduce(c, s, nil, nil, n, datatype.Uint8, datatype.Sum)
 		}
@@ -88,6 +90,9 @@ func runClustered(coll model.Collective, nClusters, perCluster, n int, tl model.
 // returning the flat auto hybrid's and the hierarchy's simulated seconds —
 // the benchmark-friendly core of HierSweep.
 func HierPoint(coll model.Collective, nClusters, perCluster, n int, tl model.TwoLevel, place Placement) (flatAuto, hier float64, err error) {
+	if coll == model.AllToAll {
+		n = a2aBytes(n, nClusters*perCluster)
+	}
 	pl := model.NewPlanner(tl.Global)
 	s, _ := pl.Best(coll, group.Linear(nClusters*perCluster), n)
 	flatAuto, err = runClustered(coll, nClusters, perCluster, n, tl, place, s)
@@ -113,7 +118,14 @@ func HierSweep(coll model.Collective, nClusters, perCluster int, tl model.TwoLev
 		Notes: []string{"flat algorithms plan the group as a linear array (structure-blind, §9); " +
 			"hier composes intra-cluster and leader-level phases from the declared cluster map"},
 	}
+	if coll == model.AllToAll {
+		t.Notes = append(t.Notes,
+			"complete-exchange rows round the vector up to a whole equal block per pair")
+	}
 	for _, n := range lengths {
+		if coll == model.AllToAll {
+			n = a2aBytes(n, nClusters*perCluster)
+		}
 		short, err := runClustered(coll, nClusters, perCluster, n, tl, place, model.MSTShape(layout))
 		if err != nil {
 			return t, fmt.Errorf("%v flat short n=%d: %w", coll, n, err)

@@ -42,7 +42,7 @@ func TestHierBeatsFlatAtScale(t *testing.T) {
 func TestHierSweepRuns(t *testing.T) {
 	tl := model.ClusterLike()
 	for _, place := range []Placement{Blocks, RoundRobin} {
-		for _, coll := range []model.Collective{model.Bcast, model.Reduce, model.AllReduce, model.Collect, model.ReduceScatter} {
+		for _, coll := range []model.Collective{model.Bcast, model.Reduce, model.AllReduce, model.Collect, model.ReduceScatter, model.AllToAll} {
 			tab, err := HierSweep(coll, 4, 4, tl, place, []int{8, 4096, 65536})
 			if err != nil {
 				t.Fatalf("%v %s: %v", coll, place, err)

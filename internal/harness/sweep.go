@@ -39,6 +39,8 @@ func runCollective(coll model.Collective, rows, cols, n int, m model.Machine, s 
 				return core.Collect(c, s, nil, counts, 1)
 			case model.ReduceScatter:
 				return core.ReduceScatter(c, s, nil, nil, counts, datatype.Uint8, datatype.Sum)
+			case model.AllToAll:
+				return core.AllToAll(c, s, nil, nil, n/p, 1)
 			default:
 				return core.AllReduce(c, s, nil, nil, n, datatype.Uint8, datatype.Sum)
 			}
@@ -59,7 +61,14 @@ func Sweep(coll model.Collective, rows, cols int, lengths []int) (Table, error) 
 		Title:  fmt.Sprintf("envelope: %v on %dx%d simulated mesh, time (s)", coll, rows, cols),
 		Header: []string{"bytes", "short (MST)", "long (bucket)", "auto", "auto shape", "slack"},
 	}
+	if coll == model.AllToAll {
+		t.Notes = append(t.Notes,
+			"complete-exchange rows round the vector up to a whole equal block per pair")
+	}
 	for _, n := range lengths {
+		if coll == model.AllToAll {
+			n = a2aBytes(n, rows*cols)
+		}
 		short, err := runCollective(coll, rows, cols, n, m, model.MSTShape(layout))
 		if err != nil {
 			return t, fmt.Errorf("%v short n=%d: %w", coll, n, err)

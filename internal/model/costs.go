@@ -94,3 +94,47 @@ func (m Machine) LongReduce(p int, n float64, c int) float64 {
 func (m Machine) LongAllReduce(p int, n float64, c int) float64 {
 	return m.BucketReduceScatter(p, n, c) + m.BucketCollect(p, n, c)
 }
+
+// BruckRelayBlocks returns the number of blocks the Bruck complete
+// exchange relays at step k (a power of two) in a group of p: the slots
+// j ∈ [1, p) whose index has the k bit set. The executor and the cost
+// model both call it, so the model's per-step bytes match the executor's
+// by construction.
+func BruckRelayBlocks(p, k int) int {
+	cnt := 0
+	for j := 1; j < p; j++ {
+		if j&k != 0 {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// ShortAllToAll is the Bruck-style complete exchange: after a local
+// rotation, step 2^b relays every block whose remaining ring offset has
+// bit b set, so the whole exchange finishes in ⌈log₂p⌉ steps each moving
+// about half the vector. The sum is exact (BruckRelayBlocks counts the
+// blocks each step actually relays), matching the executor byte for byte;
+// for a power of two it reduces to ⌈log₂p⌉ (α + (n/2)β).
+func (m Machine) ShortAllToAll(p int, n float64, c int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	blk := n / float64(p)
+	var t float64
+	for k := 1; k < p; k <<= 1 {
+		t += m.Alpha + m.StepOverhead + float64(BruckRelayBlocks(p, k))*blk*m.Beta*m.Conflict(c)
+	}
+	return t
+}
+
+// LongAllToAll is the rotation (pairwise-exchange) complete exchange: at
+// step t every node trades one block with the nodes ±t around the ring, so
+// each byte crosses the network exactly once: (p-1)α + ((p-1)/p) nβ.
+func (m Machine) LongAllToAll(p int, n float64, c int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	f := float64(p-1) / float64(p)
+	return float64(p-1)*m.Alpha + f*n*m.Beta*m.Conflict(c)
+}

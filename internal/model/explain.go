@@ -43,6 +43,19 @@ type Ranked struct {
 // an n-byte vector, cheapest first, with Table 2-style coefficients. topK
 // limits the result (0 = all).
 func (pl *Planner) Explain(c Collective, l group.Layout, n int, topK int) []Ranked {
+	if c == AllToAll {
+		short, long := AllToAllShapes(l.P())
+		var out []Ranked
+		for _, s := range []Shape{short, long} {
+			a, d, b, g := pl.mach.Coefficients(c, s)
+			out = append(out, Ranked{Shape: s, Cost: pl.mach.Cost(c, s, float64(n)), A: a, D: d, B: b, G: g})
+		}
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
+		if topK > 0 && len(out) > topK {
+			out = out[:topK]
+		}
+		return out
+	}
 	external := c == Scatter || c == Gather || c == Collect || c == ReduceScatter
 	var out []Ranked
 	for _, base := range pl.Shapes(l) {

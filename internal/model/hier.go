@@ -83,6 +83,10 @@ func (m Machine) bestReduceScatter(p int, n float64) float64 {
 	return math.Min(m.ShortReduceScatter(p, n, 1), m.BucketReduceScatter(p, n, 1))
 }
 
+func (m Machine) bestAllToAll(p int, n float64) float64 {
+	return math.Min(m.ShortAllToAll(p, n, 1), m.LongAllToAll(p, n, 1))
+}
+
 // HierCost prices collective c with an n-byte vector under the two-level
 // composition, for a partition with the given cluster sizes. Intra-cluster
 // phases are charged on the Local machine for the largest cluster (phases
@@ -132,6 +136,26 @@ func (t TwoLevel) HierCost(c Collective, sizes []int, contiguous bool, n float64
 		return gather + t.Global.bestCollect(k, n) + t.Local.bestBcast(q, n)
 	case ReduceScatter:
 		return t.Local.bestReduce(q, n) + t.Global.bestReduceScatter(k, n) + scatter
+	case AllToAll:
+		// Members ship their whole n-byte personalized vectors to the
+		// leader ((q-1) point-to-point messages each way), leaders exchange
+		// q·n-byte aggregates over the global network, leaders redistribute
+		// the assembled results. Uneven cluster sizes force the pairwise
+		// schedule at the leader level (the Bruck relay needs equal
+		// blocks); the executor makes the same choice.
+		equal := true
+		for _, s := range sizes {
+			if s != q {
+				equal = false
+			}
+		}
+		edge := float64(q-1)*(t.Local.Alpha+t.Local.StepOverhead) + float64(q-1)*n*t.Local.Beta
+		qn := float64(q) * n
+		global := t.Global.LongAllToAll(k, qn, 1)
+		if equal {
+			global = t.Global.bestAllToAll(k, qn)
+		}
+		return 2*edge + global
 	default:
 		return math.Inf(1)
 	}

@@ -198,6 +198,101 @@ func TestEnumerateShapesCoversTable2(t *testing.T) {
 	}
 }
 
+// TestAllToAllCosts pins the complete-exchange formulas: the pairwise
+// schedule is (p-1)α + ((p-1)/p)nβ; the Bruck relay takes ⌈log₂p⌉ steps
+// each moving n/2 bytes on a power of two; and the endpoints cross over —
+// Bruck wins short vectors, pairwise wins long ones.
+func TestAllToAllCosts(t *testing.T) {
+	m := Machine{Alpha: 3, Beta: 5, Gamma: 7, LinkExcess: 1}
+	const p, n = 8, 800.0
+	if got, want := m.LongAllToAll(p, n, 1), 7*3.0+(7.0/8)*n*5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("LongAllToAll = %v, want %v", got, want)
+	}
+	// p=8: steps k=1,2,4 each relay 4 of the 8 blocks (n/2 bytes).
+	if got, want := m.ShortAllToAll(p, n, 1), 3*(3.0+(n/2)*5); math.Abs(got-want) > 1e-9 {
+		t.Errorf("ShortAllToAll = %v, want %v", got, want)
+	}
+	// Non-power-of-two: p=5 steps k=1,2,4 relay {1,3},{2,3},{4} → 2,2,1 blocks.
+	if got, want := m.ShortAllToAll(5, 500, 1), 3*3.0+(2+2+1)*100.0*5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("ShortAllToAll(5) = %v, want %v", got, want)
+	}
+	mach := ParagonLike()
+	pl := NewPlanner(mach)
+	l := group.Linear(32)
+	sShort, _ := AllToAllShapes(32)
+	if s, _ := pl.Best(AllToAll, l, 8); s.ShortFrom != sShort.ShortFrom {
+		t.Errorf("8 bytes: planner picked %v, want the Bruck relay", s)
+	}
+	if s, _ := pl.Best(AllToAll, l, 4<<20); s.ShortFrom == 0 {
+		t.Errorf("4MB: planner picked the Bruck relay; pairwise should win long vectors")
+	}
+	// The crossover is where the model says it is: walking the length
+	// range, the pick flips exactly once, from short to long.
+	flipped := false
+	prevShort := true
+	for _, n := range []int{8, 64, 1024, 8192, 65536, 262144, 1 << 20, 4 << 20} {
+		s, cost := pl.Best(AllToAll, l, n)
+		isShort := s.ShortFrom == 0
+		if want := math.Min(mach.ShortAllToAll(32, float64(n), 1), mach.LongAllToAll(32, float64(n), 1)); math.Abs(cost-want) > 1e-12*want {
+			t.Errorf("n=%d: Best cost %v, min endpoint %v", n, cost, want)
+		}
+		if isShort && !prevShort {
+			t.Errorf("n=%d: pick flipped back to short", n)
+		}
+		if !isShort && prevShort {
+			flipped = true
+		}
+		prevShort = isShort
+	}
+	if !flipped {
+		t.Errorf("no short→long crossover in the length range")
+	}
+}
+
+// TestDescendingChainsOnLinear is the regression test for the enumerator
+// defect: the externally partitioned collectives require stride-descending
+// dimension orders, and the enumerator used to emit only stride-ascending
+// factor chains, so on a linear array they never saw a multi-dimension
+// hybrid. With descending chains emitted, the planner must find a
+// multi-dimension collect on 30 linear nodes that the model prices
+// strictly below both single-dimension endpoints at a mid-range length.
+func TestDescendingChainsOnLinear(t *testing.T) {
+	mach := ParagonLike()
+	pl := NewPlanner(mach)
+	l := group.Linear(30)
+	single := Dim{Size: 30, Stride: 1, Conflict: 1}
+	for _, coll := range []Collective{Collect, ReduceScatter} {
+		s, cost := pl.Best(coll, l, 65536)
+		if len(s.Dims) < 2 {
+			t.Errorf("%v: planner still single-dimension on a linear array: %v", coll, s)
+			continue
+		}
+		if !StrideDescending(s.Dims) {
+			t.Errorf("%v: chose a non-descending order %v", coll, s)
+		}
+		short := mach.Cost(coll, Shape{Dims: []Dim{single}, ShortFrom: 0}, 65536)
+		long := mach.Cost(coll, Shape{Dims: []Dim{single}, ShortFrom: 1}, 65536)
+		if best := math.Min(short, long); cost >= best {
+			t.Errorf("%v: multi-dim %v costs %v, not below best single-dim %v", coll, s, cost, best)
+		}
+	}
+	// Every emitted descending chain is a complete nested decomposition.
+	for _, s := range EnumerateShapes(l, 4) {
+		if err := s.Validate(30); err != nil {
+			t.Errorf("%v: %v", s, err)
+		}
+		if StrideDescending(s.Dims) && len(s.Dims) > 1 {
+			stride := 1
+			for i := len(s.Dims) - 1; i >= 0; i-- {
+				if s.Dims[i].Stride != stride {
+					t.Errorf("%v: dim %d stride %d, want %d", s, i, s.Dims[i].Stride, stride)
+				}
+				stride *= s.Dims[i].Size
+			}
+		}
+	}
+}
+
 // TestMeshShapes checks the physical-mesh refinements of §7.1: bucket
 // stages within rows and columns have conflict 1 and (r+c-2)α latency.
 func TestMeshShapes(t *testing.T) {
@@ -240,8 +335,8 @@ func TestParagonLikeValid(t *testing.T) {
 
 // TestCollectiveMeta covers the enum helpers.
 func TestCollectiveMeta(t *testing.T) {
-	if len(Collectives()) != 7 {
-		t.Fatalf("want 7 collectives (Table 1)")
+	if len(Collectives()) != 8 {
+		t.Fatalf("want 8 collectives (Table 1 plus the complete exchange)")
 	}
 	combines := map[Collective]bool{Reduce: true, ReduceScatter: true, AllReduce: true}
 	rooted := map[Collective]bool{Bcast: true, Reduce: true, Scatter: true, Gather: true}

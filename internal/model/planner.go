@@ -60,6 +60,15 @@ func (pl *Planner) Shapes(l group.Layout) []Shape {
 // are considered, since those are the orders the executor can realize with
 // index-contiguous blocks.
 func (pl *Planner) Best(c Collective, l group.Layout, n int) (Shape, float64) {
+	if c == AllToAll {
+		short, long := AllToAllShapes(l.P())
+		st := pl.mach.Cost(c, short, float64(n))
+		lt := pl.mach.Cost(c, long, float64(n))
+		if lt < st {
+			return long, lt
+		}
+		return short, st
+	}
 	external := c == Scatter || c == Gather || c == Collect || c == ReduceScatter
 	var best Shape
 	bestCost := -1.0
@@ -103,6 +112,14 @@ func simpler(a, b Shape) bool {
 // strides, exactly the accounting that reproduces Table 2. Dimensions of
 // size 1 are dropped (a 1×30 view is the same algorithm as a plain 30).
 // The result is sorted by dimension count then mesh for determinism.
+//
+// Chains are emitted in both stride nestings: ascending (the first logical
+// dimension is the densest, stride = the physical stride) and descending
+// (the first logical dimension is the sparsest). The externally
+// partitioned collectives — scatter, gather, collect, reduce-scatter —
+// can only execute stride-descending orders (their intermediate blocks
+// must stay index-contiguous), so without the descending nesting they
+// would never see a multi-dimension hybrid on a linear array.
 func EnumerateShapes(l group.Layout, maxFactors int) []Shape {
 	if l.P() == 1 {
 		return []Shape{{Dims: []Dim{{Size: 1, Stride: 1, Conflict: 1}}}}
@@ -120,6 +137,17 @@ func EnumerateShapes(l group.Layout, maxFactors int) []Shape {
 				intra *= f
 			}
 			cs = append(cs, chain)
+			if len(chain) > 1 {
+				// The stride-descending nesting of the same factors. The
+				// conflict factor stays attached to each stride: a dimension
+				// whose groups are interleaved at intra-physical stride s
+				// shares links among s groups regardless of nesting order.
+				rev := make([]Dim, len(chain))
+				for i, d := range chain {
+					rev[len(chain)-1-i] = d
+				}
+				cs = append(cs, rev)
+			}
 		}
 		if len(cs) == 0 { // extent 1: contributes nothing
 			cs = [][]Dim{{}}
@@ -179,6 +207,16 @@ func interleave(chains [][]Dim, prefix []Dim, out *[]Shape) {
 		}
 		*out = append(*out, Shape{Dims: dims})
 	}
+}
+
+// AllToAllShapes returns the two complete-exchange candidates for a group
+// of p nodes: the Bruck relay (short, every dimension short) and the
+// rotation/pairwise schedule (long). The exchange is dense — every pair
+// trades a block — so physical structure offers no conflict-free
+// decomposition and the menu is the two flat endpoints.
+func AllToAllShapes(p int) (short, long Shape) {
+	d := []Dim{{Size: p, Stride: 1, Conflict: 1}}
+	return Shape{Dims: d, ShortFrom: 0}, Shape{Dims: d, ShortFrom: 1}
 }
 
 // StrideDescending reports whether dims run from the largest stride to the

@@ -5,10 +5,11 @@ import (
 	"strings"
 )
 
-// Collective enumerates the seven target operations of Table 1.
+// Collective enumerates the seven target operations of Table 1 plus the
+// complete exchange (all-to-all), the one dense pattern the table lacks.
 type Collective int
 
-// The target collective communication operations (Table 1).
+// The target collective communication operations (Table 1, plus AllToAll).
 const (
 	Bcast         Collective = iota // broadcast: x at root → x at all
 	Reduce                          // combine-to-one: y(j) at Pj → ⊕y(j) at root
@@ -17,21 +18,24 @@ const (
 	Collect                         // xj at Pj → x at all (allgather)
 	ReduceScatter                   // distributed combine: y(j) at Pj → (⊕y)(i) at Pi
 	AllReduce                       // combine-to-all: y(j) at Pj → ⊕y(j) at all
+	AllToAll                        // complete exchange: x(j)i at Pj → x(i)j at Pi
 )
 
 var collNames = [...]string{
 	Bcast: "broadcast", Reduce: "reduce", Scatter: "scatter", Gather: "gather",
 	Collect: "collect", ReduceScatter: "reduce-scatter", AllReduce: "all-reduce",
+	AllToAll: "all-to-all",
 }
 
-// Collectives lists all seven operations, in Table 1 order.
+// Collectives lists all eight operations, in Table 1 order with the
+// complete exchange appended.
 func Collectives() []Collective {
-	return []Collective{Bcast, Reduce, Scatter, Gather, Collect, ReduceScatter, AllReduce}
+	return []Collective{Bcast, Reduce, Scatter, Gather, Collect, ReduceScatter, AllReduce, AllToAll}
 }
 
 // String returns the operation's name, e.g. "reduce-scatter".
 func (c Collective) String() string {
-	if c < Bcast || c > AllReduce {
+	if c < Bcast || c > AllToAll {
 		return fmt.Sprintf("Collective(%d)", int(c))
 	}
 	return collNames[c]
@@ -224,6 +228,17 @@ func (m Machine) Cost(c Collective, s Shape, n float64) float64 {
 			d := s.Dims[i]
 			t += m.MSTReduce(d.Size, mAt[i], d.Conflict) +
 				m.MSTScatter(d.Size, mAt[i], d.Conflict)
+		}
+	case AllToAll:
+		// The complete exchange runs over the whole group as a linear
+		// array: Bruck relay when every dimension is short (ShortFrom 0),
+		// rotation/pairwise otherwise. Mesh decompositions add nothing the
+		// direct pairwise schedule does not already achieve (every block
+		// still crosses the network), so the menu is the two endpoints.
+		if s.ShortFrom == 0 {
+			t = m.ShortAllToAll(s.P(), n, 1)
+		} else {
+			t = m.LongAllToAll(s.P(), n, 1)
 		}
 	case Scatter:
 		for i, d := range s.Dims {

@@ -14,7 +14,10 @@ import (
 
 func runWorld(t *testing.T, p int, fn func(nx *NX, rank int) error) {
 	t.Helper()
-	w := chantransport.NewWorld(p, chantransport.WithRecvTimeout(20*time.Second))
+	w, err := chantransport.NewWorld(p, chantransport.WithRecvTimeout(20*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := Config{MsgOverhead: 0, CopyFactor: 0, Beta: 1}
 	if err := w.Run(func(ep *chantransport.Endpoint) error {
 		return fn(New(ep, cfg), ep.Rank())

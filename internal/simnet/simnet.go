@@ -221,7 +221,6 @@ func (ep *Endpoint) Machine() model.Machine { return ep.e.cfg.Machine }
 // the network charges.
 func (ep *Endpoint) TwoLevel() model.TwoLevel { return ep.e.cfg.TwoLevel() }
 
-
 // CarriesData reports whether payload bytes are transported (Config.CarryData).
 func (ep *Endpoint) CarriesData() bool { return ep.e.cfg.CarryData }
 

@@ -13,7 +13,10 @@ import (
 // regardless of goroutine arrival order.
 func TestRecorderOrdersByPhase(t *testing.T) {
 	rec := &Recorder{}
-	w := chantransport.NewWorld(3, chantransport.WithRecvTimeout(5*time.Second))
+	w, werr := chantransport.NewWorld(3, chantransport.WithRecvTimeout(5*time.Second))
+	if werr != nil {
+		t.Fatal(werr)
+	}
 	err := w.Run(func(ep *chantransport.Endpoint) error {
 		tep := rec.Wrap(ep)
 		buf := make([]byte, 1)
@@ -84,7 +87,10 @@ func TestRenderHoldings(t *testing.T) {
 // (SendRecv recording, Close, Rank/Size).
 func TestWrapPassthrough(t *testing.T) {
 	rec := &Recorder{}
-	w := chantransport.NewWorld(2, chantransport.WithRecvTimeout(5*time.Second))
+	w, werr := chantransport.NewWorld(2, chantransport.WithRecvTimeout(5*time.Second))
+	if werr != nil {
+		t.Fatal(werr)
+	}
 	err := w.Run(func(ep *chantransport.Endpoint) error {
 		tep := rec.Wrap(ep)
 		if tep.Rank() != ep.Rank() || tep.Size() != 2 {

@@ -14,20 +14,23 @@ import (
 type World struct {
 	w    *chantransport.World
 	opts []Option
+	err  error // deferred construction error, surfaced by Run
 }
 
 // NewChannelWorld creates a p-rank in-process world. The options are
-// applied to every rank's communicator.
+// applied to every rank's communicator. An invalid size (p < 1) is
+// reported by Run rather than panicking at construction.
 func NewChannelWorld(p int, opts ...Option) *World {
-	return &World{
-		w:    chantransport.NewWorld(p, chantransport.WithRecvTimeout(2*time.Minute)),
-		opts: opts,
-	}
+	w, err := chantransport.NewWorld(p, chantransport.WithRecvTimeout(2*time.Minute))
+	return &World{w: w, opts: opts, err: err}
 }
 
 // Run executes fn once per rank, each with a whole-world communicator, and
 // returns the first error by rank.
 func (w *World) Run(fn func(c *Comm) error) error {
+	if w.err != nil {
+		return w.err
+	}
 	return w.w.Run(func(ep *chantransport.Endpoint) error {
 		c, err := New(ep, w.opts...)
 		if err != nil {
