@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet fmtcheck test race bench sweep hiersweep
+.PHONY: verify build vet fmtcheck test race bench benchall sweep hiersweep
 
 verify: build vet fmtcheck test race
 
@@ -28,7 +28,15 @@ test:
 race:
 	$(GO) test -race -short ./...
 
+# bench runs the plan-amortization benchmarks (persistent versus one-shot
+# all-reduce, plan-cache lookup) and records ns/op, allocs/op and the
+# cache hit rate in BENCH_6.json via cmd/benchjson.
 bench:
+	$(GO) test -run XXX -bench 'PersistentAllReduce|OneShotAllReduce|PlanCache' \
+		-benchmem -count=1 . | $(GO) run ./cmd/benchjson -o BENCH_6.json
+
+# benchall touches every benchmark once (a smoke pass, not a measurement).
+benchall:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
 
 sweep:

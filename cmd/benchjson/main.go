@@ -1,0 +1,158 @@
+// benchjson converts `go test -bench -benchmem` output on stdin into a
+// machine-readable JSON file, echoing the raw output through so the
+// human-readable results still appear on the terminal. It understands
+// the standard ns/op, B/op and allocs/op columns plus any custom
+// ReportMetric units (e.g. the plan cache's hit-rate), and emits a
+// persistent-versus-one-shot comparison for benchmark pairs named
+// BenchmarkPersistentX/… and BenchmarkOneShotX/….
+//
+// Usage: go test -bench ... -benchmem | benchjson -o BENCH_6.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type comparison struct {
+	Case            string  `json:"case"`
+	PersistentNsOp  float64 `json:"persistent_ns_op"`
+	OneShotNsOp     float64 `json:"oneshot_ns_op"`
+	PersistentAlloc float64 `json:"persistent_allocs_op"`
+	OneShotAlloc    float64 `json:"oneshot_allocs_op"`
+	AllocsSaved     float64 `json:"allocs_saved_op"`
+	Speedup         float64 `json:"speedup"`
+}
+
+type report struct {
+	Benchmarks       []benchResult `json:"benchmarks"`
+	PlanCacheHitRate *float64      `json:"plan_cache_hit_rate,omitempty"`
+	Comparisons      []comparison  `json:"persistent_vs_oneshot,omitempty"`
+}
+
+// parseLine parses one `BenchmarkX-8  N  v1 unit1  v2 unit2 ...` line;
+// ok is false for any other line.
+func parseLine(line string) (benchResult, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	r := benchResult{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+	// Strip the trailing -GOMAXPROCS suffix from the name.
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if _, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name = r.Name[:i]
+		}
+	}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		r.Metrics[f[i+1]] = v
+	}
+	return r, true
+}
+
+// trailing name component ("n1024") shared by a Persistent/OneShot pair.
+func caseOf(name, prefix string) (string, bool) {
+	rest, ok := strings.CutPrefix(name, prefix)
+	if !ok {
+		return "", false
+	}
+	return strings.TrimPrefix(rest, "/"), true
+}
+
+func buildReport(results []benchResult) report {
+	rep := report{Benchmarks: results}
+	persistent := map[string]benchResult{}
+	oneshot := map[string]benchResult{}
+	for _, r := range results {
+		if rate, ok := r.Metrics["hit-rate"]; ok {
+			rate := rate
+			rep.PlanCacheHitRate = &rate
+		}
+		if c, ok := caseOf(r.Name, "BenchmarkPersistentAllReduce"); ok {
+			persistent[c] = r
+		}
+		if c, ok := caseOf(r.Name, "BenchmarkOneShotAllReduce"); ok {
+			oneshot[c] = r
+		}
+	}
+	for c, p := range persistent {
+		o, ok := oneshot[c]
+		if !ok {
+			continue
+		}
+		cmp := comparison{
+			Case:            c,
+			PersistentNsOp:  p.Metrics["ns/op"],
+			OneShotNsOp:     o.Metrics["ns/op"],
+			PersistentAlloc: p.Metrics["allocs/op"],
+			OneShotAlloc:    o.Metrics["allocs/op"],
+			AllocsSaved:     o.Metrics["allocs/op"] - p.Metrics["allocs/op"],
+		}
+		if cmp.PersistentNsOp > 0 {
+			cmp.Speedup = cmp.OneShotNsOp / cmp.PersistentNsOp
+		}
+		rep.Comparisons = append(rep.Comparisons, cmp)
+	}
+	// Deterministic order for diffable output.
+	for i := 0; i < len(rep.Comparisons); i++ {
+		for j := i + 1; j < len(rep.Comparisons); j++ {
+			if rep.Comparisons[j].Case < rep.Comparisons[i].Case {
+				rep.Comparisons[i], rep.Comparisons[j] = rep.Comparisons[j], rep.Comparisons[i]
+			}
+		}
+	}
+	return rep
+}
+
+func main() {
+	out := flag.String("o", "BENCH_6.json", "output JSON path")
+	flag.Parse()
+
+	var results []benchResult
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if r, ok := parseLine(line); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(buildReport(results), "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(results))
+}

@@ -2,6 +2,8 @@ package icc
 
 import (
 	"fmt"
+	"math"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -79,6 +81,30 @@ type Comm struct {
 	tl       model.TwoLevel
 	hasTL    bool
 	gplanner *model.Planner
+	// Plan-amortization state (persistent.go, nonblocking.go, request.go).
+	// All lazily initialized under planMu, so sub-communicators built as
+	// struct literals start with valid zero values. shapeMemo short-circuits
+	// shape resolution for repeated (collective, length) calls on the
+	// blocking path; plans caches full step plans for the persistent and
+	// non-blocking paths; hits/misses feed PlanCacheStats.
+	planMu    sync.Mutex
+	shapeMemo map[shapeKey]Shape
+	plans     map[planKey]*core.Plan
+	planHits  atomic.Int64
+	planMiss  atomic.Int64
+	// bufPool recycles the staging buffers plan replays execute against.
+	bufPool sync.Pool
+	// prog is the communicator's progress engine: a lazily started
+	// goroutine draining issued requests in FIFO order.
+	prog progress
+}
+
+// shapeKey memoizes shape resolution per (collective, vector length); the
+// group and machine are fixed for the life of a communicator, so they need
+// not participate.
+type shapeKey struct {
+	coll model.Collective
+	n    int
 }
 
 // Option configures a communicator.
@@ -157,6 +183,11 @@ func (c *Comm) Layout() group.Layout { return c.layout }
 // MachineModel returns the machine parameters used for planning.
 func (c *Comm) MachineModel() Machine { return c.mach }
 
+// PlannerCalls returns how many shape resolutions this communicator's
+// planner has performed — the cost the shape memo and plan cache amortize.
+// Repeated collectives with the same signature should not increase it.
+func (c *Comm) PlannerCalls() int64 { return c.planner.BestCalls() }
+
 // ctx builds the core invocation context in this communicator's tag
 // namespace (context ids 0x80 and up are reserved for other libraries,
 // e.g. the NX baseline).
@@ -187,8 +218,28 @@ func (c *Comm) twoLevel() model.TwoLevel {
 }
 
 // shape resolves the algorithm policy into a concrete hybrid shape for an
-// n-byte vector.
+// n-byte vector, memoized per (collective, length): a long-lived
+// communicator issuing the same collective repeatedly resolves its shape
+// once and hits the memo ever after.
 func (c *Comm) shape(coll model.Collective, nBytes int) Shape {
+	key := shapeKey{coll, nBytes}
+	c.planMu.Lock()
+	if s, ok := c.shapeMemo[key]; ok {
+		c.planMu.Unlock()
+		return s
+	}
+	c.planMu.Unlock()
+	s := c.resolveShape(coll, nBytes)
+	c.planMu.Lock()
+	if c.shapeMemo == nil {
+		c.shapeMemo = make(map[shapeKey]Shape)
+	}
+	c.shapeMemo[key] = s
+	c.planMu.Unlock()
+	return s
+}
+
+func (c *Comm) resolveShape(coll model.Collective, nBytes int) Shape {
 	switch c.alg.kind {
 	case algShort:
 		return model.MSTShape(c.layout)
@@ -230,10 +281,35 @@ func (c *Comm) scratch(n int) []byte {
 	return make([]byte, n)
 }
 
+// vecBytes validates an element count and returns the vector's byte
+// length count·dt.Size()·scale, rejecting negative counts and products
+// that overflow int — the arguments that previously crashed the process
+// inside makeslice.
+func (c *Comm) vecBytes(count int, dt Type, scale int) (int, error) {
+	if count < 0 {
+		return 0, fmt.Errorf("icc: negative count %d", count)
+	}
+	es := dt.Size()
+	if es <= 0 {
+		return 0, fmt.Errorf("icc: invalid element size %d", es)
+	}
+	if count > 0 && es > math.MaxInt/count {
+		return 0, fmt.Errorf("icc: vector of %d × %d-byte elements overflows", count, es)
+	}
+	n := count * es
+	if scale > 1 && n > 0 && scale > math.MaxInt/n {
+		return 0, fmt.Errorf("icc: vector of %d × %d × %d bytes overflows", scale, count, es)
+	}
+	return n * scale, nil
+}
+
 // Bcast broadcasts count elements of type dt from root to every node, in
 // place in buf (Table 1: x at all Pj).
 func (c *Comm) Bcast(buf []byte, count int, dt Type, root int) error {
-	n := count * dt.Size()
+	n, err := c.vecBytes(count, dt, 1)
+	if err != nil {
+		return err
+	}
 	return core.Bcast(c.ctx(), c.shape(model.Bcast, n), root, buf, count, dt.Size())
 }
 
@@ -241,7 +317,10 @@ func (c *Comm) Bcast(buf []byte, count int, dt Type, root int) error {
 // the result in recv on the root (Table 1: ⊕y(j) at Pk). recv is only
 // written on the root and must not overlap send.
 func (c *Comm) Reduce(send, recv []byte, count int, dt Type, op Op, root int) error {
-	n := count * dt.Size()
+	n, err := c.vecBytes(count, dt, 1)
+	if err != nil {
+		return err
+	}
 	work := c.scratch(n)
 	tmp := c.scratch(n)
 	if c.carries() {
@@ -265,7 +344,10 @@ func (c *Comm) Reduce(send, recv []byte, count int, dt Type, op Op, root int) er
 // AllReduce combines each node's send vector and leaves the result in recv
 // on every node (Table 1: ⊕y(j) at all Pj).
 func (c *Comm) AllReduce(send, recv []byte, count int, dt Type, op Op) error {
-	n := count * dt.Size()
+	n, err := c.vecBytes(count, dt, 1)
+	if err != nil {
+		return err
+	}
 	work := c.scratch(n)
 	tmp := c.scratch(n)
 	if c.carries() {
@@ -287,6 +369,9 @@ func (c *Comm) AllReduce(send, recv []byte, count int, dt Type, op Op) error {
 // delivers segment i to node i's recv (Table 1: xj at Pj). send is read
 // only on the root.
 func (c *Comm) Scatter(send, recv []byte, count int, dt Type, root int) error {
+	if _, err := c.vecBytes(count, dt, c.Size()); err != nil {
+		return err
+	}
 	counts := make([]int, c.Size())
 	for i := range counts {
 		counts[i] = count
@@ -325,6 +410,9 @@ func (c *Comm) Scatterv(send []byte, counts []int, recv []byte, dt Type, root in
 // Gather assembles each node's count-element send segment into recv on the
 // root (Table 1: x at Pk). recv is only written on the root.
 func (c *Comm) Gather(send, recv []byte, count int, dt Type, root int) error {
+	if _, err := c.vecBytes(count, dt, c.Size()); err != nil {
+		return err
+	}
 	counts := make([]int, c.Size())
 	for i := range counts {
 		counts[i] = count
@@ -361,6 +449,9 @@ func (c *Comm) Gatherv(send []byte, counts []int, recv []byte, dt Type, root int
 // Collect assembles each node's count-element send segment on every node
 // (Table 1: x at all Pj) — the all-gather.
 func (c *Comm) Collect(send, recv []byte, count int, dt Type) error {
+	if _, err := c.vecBytes(count, dt, c.Size()); err != nil {
+		return err
+	}
 	counts := make([]int, c.Size())
 	for i := range counts {
 		counts[i] = count
@@ -431,10 +522,10 @@ func (c *Comm) ReduceScatter(send []byte, counts []int, recv []byte, dt Type, op
 // exchange hierarchically on clustered communicators when the two-level
 // model predicts a win. send and recv must not overlap.
 func (c *Comm) AllToAll(send, recv []byte, count int, dt Type) error {
-	if count < 0 {
-		return fmt.Errorf("icc: negative count %d", count)
+	n, err := c.vecBytes(count, dt, c.Size())
+	if err != nil {
+		return err
 	}
-	n := count * dt.Size() * c.Size()
 	var sb, rb []byte
 	if c.carries() {
 		if len(send) < n || len(recv) < n {
@@ -489,12 +580,16 @@ func (c *Comm) offsets(counts []int, dt Type) ([]int, int, error) {
 	if len(counts) != c.Size() {
 		return nil, 0, fmt.Errorf("icc: %d counts for communicator of %d", len(counts), c.Size())
 	}
+	es := dt.Size()
 	offs := make([]int, len(counts)+1)
 	for i, n := range counts {
 		if n < 0 {
 			return nil, 0, fmt.Errorf("icc: negative count %d at %d", n, i)
 		}
-		offs[i+1] = offs[i] + n*dt.Size()
+		if n > 0 && (es > math.MaxInt/n || offs[i] > math.MaxInt-n*es) {
+			return nil, 0, fmt.Errorf("icc: counts overflow at %d", i)
+		}
+		offs[i+1] = offs[i] + n*es
 	}
 	return offs, offs[len(counts)], nil
 }

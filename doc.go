@@ -91,6 +91,55 @@
 // schedule: relaying or aggregating other ranks' blocks would require the
 // full count matrix, which no single rank holds.
 //
+// # Non-blocking and persistent collectives
+//
+// Every fixed-count collective has a non-blocking variant (IBcast,
+// IAllReduce, …) returning a *Request immediately, and a persistent form
+// (BcastInit, AllReduceInit, … returning a *Persistent handle driven by
+// Start and Wait). Both are built on the same plan machinery: the first
+// call with a given (collective, count, type, op, root) signature runs
+// the analytic planner once, records the chosen hybrid's complete
+// send/recv/combine step sequence as a Plan, and caches it on the
+// communicator; subsequent calls replay the cached plan in a tight loop
+// with pooled staging buffers, allocating nothing in steady state.
+// PlanCacheStats reports entries, hits and misses.
+//
+// Handle lifecycle: an Init call validates its arguments, resolves (or
+// records) the plan, and pins the argument buffers — but communicates
+// nothing. Start begins one execution, reading the send buffer as of
+// that moment; Wait (or a successful Test) completes it, after which the
+// same handle may be Started again any number of times. Free releases
+// the handle; the plan itself stays cached on the communicator for
+// future handles. Start on a freed handle, Start while a previous Start
+// is still in flight, and Wait or Test before any Start are errors.
+//
+// Progress: each communicator owns at most one progress goroutine,
+// started lazily when a request is issued and exiting when its queue
+// drains, so an idle or abandoned communicator holds no goroutine.
+// Requests on one communicator execute strictly in issue order — the
+// SPMD contract is unchanged: every member issues the same collectives
+// in the same order, whether blocking, non-blocking or persistent, and
+// completes them in that order.
+//
+// While an execution is in flight — between Start (or an I* call) and
+// the corresponding Wait — the bound argument buffers must not be read
+// or written by the application, the handle must not be Started again,
+// and the communicator must not issue a blocking collective that could
+// overtake the queued one. Reusing one buffer across two simultaneously
+// in-flight requests is likewise illegal. Wait may be called from any
+// goroutine; Request.Test polls without blocking.
+//
+//	h, _ := c.AllReduceInit(send, recv, n, icc.Float64, icc.Sum)
+//	for iter := 0; iter < steps; iter++ {
+//	    // ... refill send ...
+//	    h.Start()
+//	    // ... overlap independent computation ...
+//	    if err := h.Wait(); err != nil {
+//	        return err
+//	    }
+//	}
+//	h.Free()
+//
 // # Quick start
 //
 //	world := icc.NewChannelWorld(8)

@@ -97,6 +97,13 @@ func (w *World) Run(fn func(ep *Endpoint) error) error {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
+			// A panic in one rank's program must surface as that rank's
+			// error, not kill the host process and every other rank with it.
+			defer func() {
+				if v := recover(); v != nil {
+					errs[r] = fmt.Errorf("panic: %v", v)
+				}
+			}()
 			ep, err := w.Endpoint(r)
 			if err != nil {
 				errs[r] = err

@@ -109,7 +109,7 @@ func pairwiseAllToAll(e *env, phase uint32, sOffs, rOffs []int, send, recv []byt
 		return fmt.Errorf("core: logical %d sends itself %d bytes but expects %d", me, sn, rn)
 	}
 	if e.carry {
-		copy(recv[rOffs[me]:rOffs[me+1]], send[sOffs[me]:sOffs[me+1]])
+		e.copyb(recv[rOffs[me]:rOffs[me+1]], send[sOffs[me]:sOffs[me+1]])
 	}
 	for t := 1; t < p; t++ {
 		to := (me + t) % p
@@ -137,7 +137,7 @@ func bruckAllToAll(e *env, phase uint32, send, recv []byte, count, es int) error
 	me := e.me
 	if p == 1 {
 		if e.carry {
-			copy(recv[:blk], send[:blk])
+			e.copyb(recv[:blk], send[:blk])
 		}
 		return nil
 	}
@@ -145,7 +145,7 @@ func bruckAllToAll(e *env, phase uint32, send, recv []byte, count, es int) error
 	if e.carry {
 		for j := 0; j < p; j++ {
 			src := (me + j) % p
-			copy(work[j*blk:(j+1)*blk], send[src*blk:(src+1)*blk])
+			e.copyb(work[j*blk:(j+1)*blk], send[src*blk:(src+1)*blk])
 		}
 	}
 	maxCnt := 0
@@ -163,7 +163,7 @@ func bruckAllToAll(e *env, phase uint32, send, recv []byte, count, es int) error
 			at := 0
 			for j := 1; j < p; j++ {
 				if j&k != 0 {
-					copy(sbuf[at:at+blk], work[j*blk:(j+1)*blk])
+					e.copyb(sbuf[at:at+blk], work[j*blk:(j+1)*blk])
 					at += blk
 				}
 			}
@@ -180,7 +180,7 @@ func bruckAllToAll(e *env, phase uint32, send, recv []byte, count, es int) error
 			at := 0
 			for j := 1; j < p; j++ {
 				if j&k != 0 {
-					copy(work[j*blk:(j+1)*blk], rbuf[at:at+blk])
+					e.copyb(work[j*blk:(j+1)*blk], rbuf[at:at+blk])
 					at += blk
 				}
 			}
@@ -190,7 +190,7 @@ func bruckAllToAll(e *env, phase uint32, send, recv []byte, count, es int) error
 	if e.carry {
 		for src := 0; src < p; src++ {
 			j := (me - src + p) % p
-			copy(recv[src*blk:(src+1)*blk], work[j*blk:(j+1)*blk])
+			e.copyb(recv[src*blk:(src+1)*blk], work[j*blk:(j+1)*blk])
 		}
 	}
 	return nil

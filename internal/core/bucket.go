@@ -88,7 +88,7 @@ func bucketReduceScatter(e *env, phase uint32, offs []int, buf []byte, base int,
 	}
 	// cur now holds segment me fully combined; land it in place.
 	if e.carry && curLen > 0 {
-		copy(buf[offs[me]-base:offs[me+1]-base], cur[:curLen])
+		e.copyb(buf[offs[me]-base:offs[me+1]-base], cur[:curLen])
 	}
 	return nil
 }

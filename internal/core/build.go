@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datatype"
+	"repro/internal/model"
+)
+
+// Plan construction entry points. Each Build* mirrors the corresponding
+// executing entry point exactly — same validation, same shape dispatch,
+// same algorithm code — but runs the executors against a recording env,
+// so the result is a Plan replayable by Execute instead of a finished
+// collective. Because the executors are data-oblivious, the recorded step
+// sequence is valid for every future invocation with the same (group,
+// shape, root, length) tuple.
+
+// recordEnv builds a recording environment for a context. Recording always
+// runs in carrying mode so every copy and combine the data path performs
+// is captured; Execute re-specializes to timing-only transports on replay.
+func recordEnv(c Ctx) (env, *planRec, error) {
+	if err := c.validate(); err != nil {
+		return env{}, nil, err
+	}
+	e := c.env()
+	e.carry = true
+	r := newPlanRec()
+	e.rec = r
+	return e, r, nil
+}
+
+func checkCountES(count, es int) error {
+	if count < 0 {
+		return fmt.Errorf("core: negative count %d", count)
+	}
+	if es <= 0 {
+		return fmt.Errorf("core: element size %d", es)
+	}
+	return nil
+}
+
+// BuildBcast records the broadcast of count es-byte elements from root.
+// The plan's Buf space is the vector.
+func BuildBcast(c Ctx, s model.Shape, root, count, es int) (*Plan, error) {
+	e, r, err := recordEnv(c)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkRoot(root, e.p()); err != nil {
+		return nil, err
+	}
+	if err := checkCountES(count, es); err != nil {
+		return nil, err
+	}
+	n := count * es
+	buf := r.registerBuf(n)
+	if s.Hier {
+		cl, tl, herr := c.hier()
+		if herr != nil {
+			return nil, herr
+		}
+		err = hierBcast(&e, cl, tl, root, buf, count, es)
+	} else {
+		err = hybridBcast(&e, s, root, buf, count, es)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return r.finish(n, 0, datatype.Uint8, datatype.Sum)
+}
+
+// BuildReduce records the combine-to-root. Buf is the working vector
+// (contribution in, result out at root); Tmp is the combine scratch.
+func BuildReduce(c Ctx, s model.Shape, root, count int, dt datatype.Type, op datatype.Op) (*Plan, error) {
+	e, r, err := recordEnv(c)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkRoot(root, e.p()); err != nil {
+		return nil, err
+	}
+	es := dt.Size()
+	if err := checkCountES(count, es); err != nil {
+		return nil, err
+	}
+	n := count * es
+	buf, tmp := r.registerBuf(n), r.registerTmp(n)
+	if s.Hier {
+		cl, tl, herr := c.hier()
+		if herr != nil {
+			return nil, herr
+		}
+		err = hierReduce(&e, cl, tl, root, buf, tmp, count, es, dt, op)
+	} else {
+		err = hybridReduce(&e, s, root, buf, tmp, count, es, dt, op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return r.finish(n, n, dt, op)
+}
+
+// BuildAllReduce records the combine-to-all. Buf is the working vector
+// (contribution in, result out everywhere); Tmp is the combine scratch.
+func BuildAllReduce(c Ctx, s model.Shape, count int, dt datatype.Type, op datatype.Op) (*Plan, error) {
+	e, r, err := recordEnv(c)
+	if err != nil {
+		return nil, err
+	}
+	es := dt.Size()
+	if err := checkCountES(count, es); err != nil {
+		return nil, err
+	}
+	n := count * es
+	buf, tmp := r.registerBuf(n), r.registerTmp(n)
+	if s.Hier {
+		cl, tl, herr := c.hier()
+		if herr != nil {
+			return nil, herr
+		}
+		err = hierAllReduce(&e, cl, tl, buf, tmp, count, es, dt, op)
+	} else {
+		err = hybridAllReduce(&e, s, buf, tmp, count, es, dt, op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return r.finish(n, n, dt, op)
+}
+
+// BuildScatter records the distribution of counts[i] elements to each
+// node from root. Buf spans the whole vector.
+func BuildScatter(c Ctx, s model.Shape, root int, counts []int, es int) (*Plan, error) {
+	e, r, err := recordEnv(c)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkRoot(root, e.p()); err != nil {
+		return nil, err
+	}
+	offs, err := countOffsets(c, counts, es, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	total := offs[len(offs)-1]
+	buf := r.registerBuf(total)
+	if s.Hier {
+		s = flatShape(e.p())
+	}
+	if err := hybridScatter(&e, s, root, offs, buf); err != nil {
+		return nil, err
+	}
+	return r.finish(total, 0, datatype.Uint8, datatype.Sum)
+}
+
+// BuildGather records the assembly of counts[i] elements from each node at
+// root. Buf spans the whole vector.
+func BuildGather(c Ctx, s model.Shape, root int, counts []int, es int) (*Plan, error) {
+	e, r, err := recordEnv(c)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkRoot(root, e.p()); err != nil {
+		return nil, err
+	}
+	offs, err := countOffsets(c, counts, es, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	total := offs[len(offs)-1]
+	buf := r.registerBuf(total)
+	if s.Hier {
+		s = flatShape(e.p())
+	}
+	if err := hybridGather(&e, s, root, offs, buf); err != nil {
+		return nil, err
+	}
+	return r.finish(total, 0, datatype.Uint8, datatype.Sum)
+}
+
+// BuildCollect records the all-gather. Buf spans the whole vector.
+func BuildCollect(c Ctx, s model.Shape, counts []int, es int) (*Plan, error) {
+	e, r, err := recordEnv(c)
+	if err != nil {
+		return nil, err
+	}
+	offs, err := countOffsets(c, counts, es, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	total := offs[len(offs)-1]
+	buf := r.registerBuf(total)
+	if s.Hier {
+		cl, tl, herr := c.hier()
+		if herr != nil {
+			return nil, herr
+		}
+		err = hierCollect(&e, cl, tl, offs, buf)
+	} else {
+		err = hybridCollect(&e, s, offs, buf)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return r.finish(total, 0, datatype.Uint8, datatype.Sum)
+}
+
+// BuildReduceScatter records the distributed combine. Buf is the full
+// contribution (own segment valid on return); Tmp is the combine scratch.
+func BuildReduceScatter(c Ctx, s model.Shape, counts []int, dt datatype.Type, op datatype.Op) (*Plan, error) {
+	e, r, err := recordEnv(c)
+	if err != nil {
+		return nil, err
+	}
+	offs, err := countOffsets(c, counts, dt.Size(), false, nil)
+	if err != nil {
+		return nil, err
+	}
+	total := offs[len(offs)-1]
+	buf, tmp := r.registerBuf(total), r.registerTmp(total)
+	if s.Hier {
+		cl, tl, herr := c.hier()
+		if herr != nil {
+			return nil, herr
+		}
+		err = hierReduceScatter(&e, cl, tl, offs, buf, tmp, dt, op)
+	} else {
+		err = hybridReduceScatter(&e, s, offs, buf, tmp, dt, op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return r.finish(total, total, dt, op)
+}
+
+// BuildAllToAll records the complete exchange with equal per-pair counts.
+// Buf is the send vector, Tmp the receive vector (p blocks each).
+func BuildAllToAll(c Ctx, s model.Shape, count, es int) (*Plan, error) {
+	e, r, err := recordEnv(c)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkCountES(count, es); err != nil {
+		return nil, err
+	}
+	n := e.p() * count * es
+	send, recv := r.registerBuf(n), r.registerTmp(n)
+	if s.Hier {
+		cl, tl, herr := c.hier()
+		if herr != nil {
+			return nil, herr
+		}
+		err = hierAllToAll(&e, cl, tl, send, recv, count, es)
+	} else if err = validateShape(&e, s); err == nil {
+		if s.ShortFrom == 0 {
+			err = bruckAllToAll(&e, 0, send, recv, count, es)
+		} else {
+			offs := uniformOffsets(e.p(), count*es)
+			err = pairwiseAllToAll(&e, 0, offs, offs, send, recv)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return r.finish(n, n, datatype.Uint8, datatype.Sum)
+}

@@ -35,6 +35,12 @@ type env struct {
 	// hierarchical collective — each of which runs a complete flat
 	// collective with its own phase numbering — occupy disjoint tag ranges.
 	phaseOff uint32
+	// rec, when non-nil, switches the env into plan-recording mode: every
+	// send, receive, combine, copy and allocation is captured as a Plan
+	// step instead of being executed. The algorithms above this layer are
+	// data-oblivious, so the recorded control flow is the one execution
+	// will follow.
+	rec *planRec
 }
 
 func (e *env) p() int { return len(e.members) }
@@ -48,6 +54,10 @@ func (e *env) tag(phase uint32, step int) transport.Tag {
 // logical node to.
 func (e *env) send(to int, tag transport.Tag, p []byte, n int) error {
 	rank := e.members[to]
+	if e.rec != nil {
+		e.rec.add(step{op: opSend, peer: rank, tag: tag, a: e.rec.ref(p), n: n})
+		return nil
+	}
 	if e.carry {
 		return e.ep.Send(rank, tag, p[:n])
 	}
@@ -60,6 +70,10 @@ func (e *env) send(to int, tag transport.Tag, p []byte, n int) error {
 // recv receives exactly n bytes from logical node from into p.
 func (e *env) recv(from int, tag transport.Tag, p []byte, n int) error {
 	rank := e.members[from]
+	if e.rec != nil {
+		e.rec.add(step{op: opRecv, peer: rank, tag: tag, a: e.rec.ref(p), n: n})
+		return nil
+	}
 	var got int
 	var err error
 	if e.carry {
@@ -82,6 +96,14 @@ func (e *env) recv(from int, tag transport.Tag, p []byte, n int) error {
 // receives rn bytes from logical node from into rp.
 func (e *env) sendRecv(to int, stag transport.Tag, sp []byte, sn int, from int, rtag transport.Tag, rp []byte, rn int) error {
 	toRank, fromRank := e.members[to], e.members[from]
+	if e.rec != nil {
+		e.rec.add(step{
+			op:   opSendRecv,
+			peer: toRank, tag: stag, a: e.rec.ref(sp), n: sn,
+			peer2: fromRank, tag2: rtag, b: e.rec.ref(rp), n2: rn,
+		})
+		return nil
+	}
 	var got int
 	var err error
 	if e.carry {
@@ -100,8 +122,12 @@ func (e *env) sendRecv(to int, stag transport.Tag, sp []byte, sn int, from int, 
 	return nil
 }
 
-// alloc returns an n-byte scratch buffer, or nil in timing-only mode.
+// alloc returns an n-byte scratch buffer, or nil in timing-only mode. In
+// recording mode the buffer is carved from the plan's scratch arena.
 func (e *env) alloc(n int) []byte {
+	if e.rec != nil {
+		return e.rec.alloc(n)
+	}
 	if !e.carry {
 		return nil
 	}
@@ -112,6 +138,16 @@ func (e *env) alloc(n int) []byte {
 // no time is charged (the paper's algorithms are arranged so data lands in
 // place).
 func (e *env) copyb(dst, src []byte) {
+	if e.rec != nil {
+		n := len(dst)
+		if len(src) < n {
+			n = len(src)
+		}
+		if n > 0 {
+			e.rec.add(step{op: opCopy, a: e.rec.ref(dst), b: e.rec.ref(src), n: n})
+		}
+		return
+	}
 	if e.carry {
 		copy(dst, src)
 	}
@@ -120,6 +156,10 @@ func (e *env) copyb(dst, src []byte) {
 // combine applies dst ⊕= src over n bytes of elements and charges nγ of
 // virtual compute time.
 func (e *env) combine(dt datatype.Type, op datatype.Op, dst, src []byte, n int) error {
+	if e.rec != nil {
+		e.rec.add(step{op: opCombine, a: e.rec.ref(dst), b: e.rec.ref(src), n: n})
+		return nil
+	}
 	if e.carry {
 		if err := datatype.Apply(dt, op, dst[:n], src[:n]); err != nil {
 			return err
@@ -137,6 +177,10 @@ func (e *env) combine(dt datatype.Type, op datatype.Op, dst, src []byte, n int) 
 // primitives call it once per tree level a node engages in; the flat
 // bucket loops do not pay it, matching the cost model.
 func (e *env) stepOverhead() {
+	if e.rec != nil {
+		e.rec.add(step{op: opElapse})
+		return
+	}
 	if e.hasMach && e.mach.StepOverhead > 0 {
 		transport.Elapse(e.ep, e.mach.StepOverhead)
 	}
@@ -156,6 +200,6 @@ func (e *env) dimEnv(d model.Dim) env {
 	return env{
 		ep: e.ep, members: members, me: x,
 		coll: e.coll, carry: e.carry, mach: e.mach, hasMach: e.hasMach,
-		phaseOff: e.phaseOff,
+		phaseOff: e.phaseOff, rec: e.rec,
 	}
 }

@@ -65,7 +65,7 @@ func subEnv(e *env, idxs []int, phaseOff uint32) (env, bool) {
 	return env{
 		ep: e.ep, members: members, me: me,
 		coll: e.coll, carry: e.carry, mach: e.mach, hasMach: e.hasMach,
-		phaseOff: e.phaseOff + phaseOff,
+		phaseOff: e.phaseOff + phaseOff, rec: e.rec,
 	}, me >= 0
 }
 
@@ -234,7 +234,7 @@ func (pk packing) pack(e *env, cl group.Cluster, offs []int, dst, src []byte) {
 	}
 	for i := 0; i < cl.P(); i++ {
 		n := offs[i+1] - offs[i]
-		copy(dst[pk.segOff[i]:pk.segOff[i]+n], src[offs[i]:offs[i+1]])
+		e.copyb(dst[pk.segOff[i]:pk.segOff[i]+n], src[offs[i]:offs[i+1]])
 	}
 }
 
@@ -244,7 +244,7 @@ func (pk packing) unpack(e *env, cl group.Cluster, offs []int, dst, src []byte) 
 	}
 	for i := 0; i < cl.P(); i++ {
 		n := offs[i+1] - offs[i]
-		copy(dst[offs[i]:offs[i+1]], src[pk.segOff[i]:pk.segOff[i]+n])
+		e.copyb(dst[offs[i]:offs[i+1]], src[pk.segOff[i]:pk.segOff[i]+n])
 	}
 }
 
@@ -412,7 +412,7 @@ func hierAllToAll(e *env, cl group.Cluster, tl model.TwoLevel, send, recv []byte
 	// Stage 1: gather members' full vectors, member order.
 	gbuf := e.alloc(q * n)
 	if e.carry {
-		copy(gbuf[myPos*n:(myPos+1)*n], send[:n])
+		e.copyb(gbuf[myPos*n:(myPos+1)*n], send[:n])
 	}
 	for t, i := range mem {
 		if i == leader {
@@ -443,7 +443,7 @@ func hierAllToAll(e *env, cl group.Cluster, tl model.TwoLevel, send, recv []byte
 		for d := 0; d < K; d++ {
 			for t := 0; t < q; t++ {
 				for _, u := range cl.Members(d) {
-					copy(out[at:at+blk], gbuf[t*n+u*blk:t*n+(u+1)*blk])
+					e.copyb(out[at:at+blk], gbuf[t*n+u*blk:t*n+(u+1)*blk])
 					at += blk
 				}
 			}
@@ -472,10 +472,10 @@ func hierAllToAll(e *env, cl group.Cluster, tl model.TwoLevel, send, recv []byte
 			for j := 0; j < p; j++ {
 				d := cl.Of(j)
 				src := bOffs[d] + (pos[j]*q+t)*blk
-				copy(gbuf[t*n+j*blk:t*n+(j+1)*blk], in[src:src+blk])
+				e.copyb(gbuf[t*n+j*blk:t*n+(j+1)*blk], in[src:src+blk])
 			}
 		}
-		copy(recv[:n], gbuf[myPos*n:(myPos+1)*n])
+		e.copyb(recv[:n], gbuf[myPos*n:(myPos+1)*n])
 	}
 	for t, i := range mem {
 		if i == leader {

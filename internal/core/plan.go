@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datatype"
+	"repro/internal/model"
+	"repro/internal/transport"
+)
+
+// Plan construction / plan execution split. A collective invocation is
+// data-oblivious: given the group, the shape, the root and the byte
+// layout, the sequence of sends, receives, combines and copies a rank
+// performs is fixed. A Plan captures that sequence once — recorded by
+// running the ordinary executors against a recording env — and replays it
+// with a tight loop over the steps (Execute). Persistent and non-blocking
+// collectives build a Plan at initialization time and replay it on every
+// Start, so the hot path never re-runs shape resolution, coordinate
+// arithmetic, gating or offset computation, and never allocates.
+//
+// A plan is rank-specific (it holds only this rank's steps, with peer
+// transport ranks resolved) and addresses data by (space, offset) pairs
+// into three buffer spaces supplied at execution time:
+//
+//   - Buf: the primary vector (the working buffer, or the send vector of
+//     an all-to-all);
+//   - Tmp: the combine scratch vector (or the receive vector of an
+//     all-to-all);
+//   - Scratch: an arena covering every buffer the algorithms would have
+//     allocated internally (relay buffers, packing copies, ...), sized by
+//     the recording pass.
+
+// stepOp enumerates the plan instruction set.
+type stepOp uint8
+
+const (
+	opSend     stepOp = iota // send n bytes at a to peer
+	opRecv                   // receive n bytes from peer into a
+	opSendRecv               // send a→peer and receive peer2→b concurrently
+	opCombine                // a[:n] ⊕= b[:n], charging n·γ
+	opCopy                   // copy(a[:n], b[:n])
+	opElapse                 // charge the per-step software overhead
+)
+
+// space identifies the buffer a bufRef points into.
+type space uint8
+
+const (
+	spaceBuf space = iota
+	spaceTmp
+	spaceScratch
+	spaceNone // zero-length reference
+)
+
+// bufRef addresses a byte range in one of the plan's buffer spaces.
+type bufRef struct {
+	space space
+	off   int
+}
+
+// step is one plan instruction.
+type step struct {
+	op        stepOp
+	peer      int // transport rank (send target / recv source)
+	peer2     int // recv source of a sendRecv
+	tag, tag2 transport.Tag
+	a, b      bufRef
+	n, n2     int
+}
+
+// Buffers supplies the three buffer spaces a plan executes against. On
+// data-carrying transports each must be at least the corresponding
+// Plan length; on timing-only transports all three may be nil.
+type Buffers struct {
+	Buf, Tmp, Scratch []byte
+}
+
+// Plan is the recorded step sequence of one collective invocation on one
+// rank, replayable any number of times via Execute.
+type Plan struct {
+	steps []step
+	// BufLen, TmpLen and ScratchLen are the byte lengths the three buffer
+	// spaces must provide on data-carrying transports.
+	BufLen, TmpLen, ScratchLen int
+	// DT and CombineOp interpret buffers during combine steps.
+	DT        datatype.Type
+	CombineOp datatype.Op
+}
+
+// Steps returns the number of recorded instructions.
+func (pl *Plan) Steps() int { return len(pl.steps) }
+
+// Execute replays the plan against an endpoint. mach, when non-nil,
+// charges γ per combined byte and the per-step software overhead on
+// virtual-time transports, mirroring direct execution. Buffers must cover
+// the plan's declared lengths on data-carrying transports.
+func (pl *Plan) Execute(ep transport.Endpoint, mach *model.Machine, bs Buffers) error {
+	carry := transport.CarriesData(ep)
+	if carry {
+		if len(bs.Buf) < pl.BufLen || len(bs.Tmp) < pl.TmpLen || len(bs.Scratch) < pl.ScratchLen {
+			return fmt.Errorf("core: plan buffers %d/%d/%d bytes, need %d/%d/%d",
+				len(bs.Buf), len(bs.Tmp), len(bs.Scratch), pl.BufLen, pl.TmpLen, pl.ScratchLen)
+		}
+	}
+	ss, hasSS := ep.(transport.SizeSender)
+	sl := func(r bufRef, n int) []byte {
+		if !carry || r.space == spaceNone {
+			return nil
+		}
+		switch r.space {
+		case spaceBuf:
+			return bs.Buf[r.off : r.off+n]
+		case spaceTmp:
+			return bs.Tmp[r.off : r.off+n]
+		default:
+			return bs.Scratch[r.off : r.off+n]
+		}
+	}
+	for i := range pl.steps {
+		st := &pl.steps[i]
+		switch st.op {
+		case opSend:
+			var err error
+			switch {
+			case carry:
+				err = ep.Send(st.peer, st.tag, sl(st.a, st.n))
+			case hasSS:
+				err = ss.SendSize(st.peer, st.tag, st.n)
+			default:
+				err = ep.Send(st.peer, st.tag, make([]byte, st.n))
+			}
+			if err != nil {
+				return err
+			}
+		case opRecv:
+			var got int
+			var err error
+			switch {
+			case carry:
+				got, err = ep.Recv(st.peer, st.tag, sl(st.a, st.n))
+			case hasSS:
+				got, err = ss.RecvSize(st.peer, st.tag, st.n)
+			default:
+				got, err = ep.Recv(st.peer, st.tag, make([]byte, st.n))
+			}
+			if err != nil {
+				return err
+			}
+			if got != st.n {
+				return fmt.Errorf("core: plan received %d bytes from %d, want %d (tag %#x)", got, st.peer, st.n, uint32(st.tag))
+			}
+		case opSendRecv:
+			var got int
+			var err error
+			switch {
+			case carry:
+				got, err = ep.SendRecv(st.peer, st.tag, sl(st.a, st.n), st.peer2, st.tag2, sl(st.b, st.n2))
+			case hasSS:
+				got, err = ss.SendRecvSize(st.peer, st.tag, st.n, st.peer2, st.tag2, st.n2)
+			default:
+				got, err = ep.SendRecv(st.peer, st.tag, make([]byte, st.n), st.peer2, st.tag2, make([]byte, st.n2))
+			}
+			if err != nil {
+				return err
+			}
+			if got != st.n2 {
+				return fmt.Errorf("core: plan received %d bytes from %d, want %d (tag %#x)", got, st.peer2, st.n2, uint32(st.tag2))
+			}
+		case opCombine:
+			if carry && st.n > 0 {
+				if err := datatype.Apply(pl.DT, pl.CombineOp, sl(st.a, st.n), sl(st.b, st.n)); err != nil {
+					return err
+				}
+			}
+			if mach != nil {
+				transport.Elapse(ep, float64(st.n)*mach.Gamma)
+			}
+		case opCopy:
+			if carry {
+				copy(sl(st.a, st.n), sl(st.b, st.n))
+			}
+		case opElapse:
+			if mach != nil && mach.StepOverhead > 0 {
+				transport.Elapse(ep, mach.StepOverhead)
+			}
+		}
+	}
+	return nil
+}
+
+// registered is one base buffer the recorder can resolve slices against.
+type registered struct {
+	space space
+	off   int // offset of buf[0] within its space
+	buf   []byte
+}
+
+// planRec records the steps an env performs instead of executing them.
+type planRec struct {
+	steps      []step
+	bases      []registered
+	scratchLen int
+	err        error
+}
+
+func newPlanRec() *planRec { return &planRec{} }
+
+// registerBuf allocates and registers the primary buffer space.
+func (r *planRec) registerBuf(n int) []byte {
+	b := make([]byte, n)
+	r.bases = append(r.bases, registered{space: spaceBuf, buf: b})
+	return b
+}
+
+// registerTmp allocates and registers the scratch-vector space.
+func (r *planRec) registerTmp(n int) []byte {
+	b := make([]byte, n)
+	r.bases = append(r.bases, registered{space: spaceTmp, buf: b})
+	return b
+}
+
+// alloc bump-allocates a chunk of the scratch arena, registering it so
+// later slices into it resolve.
+func (r *planRec) alloc(n int) []byte {
+	b := make([]byte, n)
+	r.bases = append(r.bases, registered{space: spaceScratch, off: r.scratchLen, buf: b})
+	r.scratchLen += n
+	return b
+}
+
+func (r *planRec) add(st step) {
+	if r.err == nil {
+		r.steps = append(r.steps, st)
+	}
+}
+
+// ref resolves a slice to the registered buffer containing it. Every
+// payload slice the executors touch is a subslice of a registered base;
+// an unresolvable slice is an executor bug, reported at build time.
+func (r *planRec) ref(p []byte) bufRef {
+	if len(p) == 0 {
+		return bufRef{space: spaceNone}
+	}
+	for i := range r.bases {
+		b := &r.bases[i]
+		off := cap(b.buf) - cap(p)
+		if off < 0 || off+len(p) > len(b.buf) {
+			continue
+		}
+		if &b.buf[off] != &p[0] {
+			continue
+		}
+		return bufRef{space: b.space, off: b.off + off}
+	}
+	if r.err == nil {
+		r.err = fmt.Errorf("core: plan recorder: %d-byte slice outside registered buffers", len(p))
+	}
+	return bufRef{space: spaceNone}
+}
+
+// finish seals the recording into an executable plan.
+func (r *planRec) finish(bufLen, tmpLen int, dt datatype.Type, op datatype.Op) (*Plan, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	return &Plan{
+		steps:      r.steps,
+		BufLen:     bufLen,
+		TmpLen:     tmpLen,
+		ScratchLen: r.scratchLen,
+		DT:         dt,
+		CombineOp:  op,
+	}, nil
+}

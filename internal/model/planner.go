@@ -3,6 +3,7 @@ package model
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/group"
 )
@@ -26,6 +27,10 @@ type Planner struct {
 
 	mu    sync.Mutex
 	cache map[string][]Shape
+
+	// bestCalls counts Best invocations — the observable cost the plan
+	// cache exists to amortize; tests assert it stays flat on cached paths.
+	bestCalls atomic.Int64
 }
 
 // NewPlanner returns a planner for machine m. Factor chains are capped at
@@ -37,6 +42,10 @@ func NewPlanner(m Machine) *Planner {
 
 // Machine returns the machine model the planner costs shapes with.
 func (pl *Planner) Machine() Machine { return pl.mach }
+
+// BestCalls returns how many times Best has run — i.e. how many shape
+// resolutions this planner has performed.
+func (pl *Planner) BestCalls() int64 { return pl.bestCalls.Load() }
 
 // Shapes enumerates the candidate shapes for a layout, ShortFrom left at
 // zero (Best fills it in). The slice is shared; callers must not modify it.
@@ -60,6 +69,7 @@ func (pl *Planner) Shapes(l group.Layout) []Shape {
 // are considered, since those are the orders the executor can realize with
 // index-contiguous blocks.
 func (pl *Planner) Best(c Collective, l group.Layout, n int) (Shape, float64) {
+	pl.bestCalls.Add(1)
 	if c == AllToAll {
 		short, long := AllToAllShapes(l.P())
 		st := pl.mach.Cost(c, short, float64(n))

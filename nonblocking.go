@@ -1,0 +1,94 @@
+package icc
+
+// Non-blocking collectives: each I* variant validates its arguments,
+// resolves a cached plan (recording it on first use) and enqueues the
+// execution on the communicator's progress goroutine, returning a Request
+// immediately. The caller overlaps computation with the collective and
+// completes it with Wait or polls with Test. Requests on one communicator
+// execute strictly in issue order, so the SPMD discipline is the same as
+// for the blocking calls: every member issues the same collectives in the
+// same order. The argument buffers must not be touched between issue and
+// completion.
+
+// issueNB validates a bound plan and hands it to the progress engine.
+func (c *Comm) issueNB(kind planKind, key planKey, nBytes, segBytes int, send, recv []byte) (*Request, error) {
+	pl, err := c.plan(key, nBytes)
+	if err != nil {
+		return nil, err
+	}
+	b := &boundPlan{c: c, kind: kind, pl: pl, send: send, recv: recv, n: segBytes, root: key.root}
+	if err := b.check(); err != nil {
+		return nil, err
+	}
+	req := newRequest()
+	c.prog.issue(b.run, req)
+	return req, nil
+}
+
+// IBcast is the non-blocking Bcast.
+func (c *Comm) IBcast(buf []byte, count int, dt Type, root int) (*Request, error) {
+	n, err := c.vecBytes(count, dt, 1)
+	if err != nil {
+		return nil, err
+	}
+	return c.issueNB(planBcast, planKey{kind: planBcast, root: root, count: count, dt: dt}, n, n, buf, nil)
+}
+
+// IReduce is the non-blocking Reduce.
+func (c *Comm) IReduce(send, recv []byte, count int, dt Type, op Op, root int) (*Request, error) {
+	n, err := c.vecBytes(count, dt, 1)
+	if err != nil {
+		return nil, err
+	}
+	return c.issueNB(planReduce, planKey{kind: planReduce, root: root, count: count, dt: dt, op: op}, n, n, send, recv)
+}
+
+// IAllReduce is the non-blocking AllReduce.
+func (c *Comm) IAllReduce(send, recv []byte, count int, dt Type, op Op) (*Request, error) {
+	n, err := c.vecBytes(count, dt, 1)
+	if err != nil {
+		return nil, err
+	}
+	return c.issueNB(planAllReduce, planKey{kind: planAllReduce, count: count, dt: dt, op: op}, n, n, send, recv)
+}
+
+// IScatter is the non-blocking equal-count Scatter.
+func (c *Comm) IScatter(send, recv []byte, count int, dt Type, root int) (*Request, error) {
+	total, err := c.vecBytes(count, dt, c.Size())
+	if err != nil {
+		return nil, err
+	}
+	return c.issueNB(planScatter, planKey{kind: planScatter, root: root, count: count, dt: dt}, total, count*dt.Size(), send, recv)
+}
+
+// IGather is the non-blocking equal-count Gather.
+func (c *Comm) IGather(send, recv []byte, count int, dt Type, root int) (*Request, error) {
+	total, err := c.vecBytes(count, dt, c.Size())
+	if err != nil {
+		return nil, err
+	}
+	return c.issueNB(planGather, planKey{kind: planGather, root: root, count: count, dt: dt}, total, count*dt.Size(), send, recv)
+}
+
+// ICollect is the non-blocking equal-count Collect.
+func (c *Comm) ICollect(send, recv []byte, count int, dt Type) (*Request, error) {
+	total, err := c.vecBytes(count, dt, c.Size())
+	if err != nil {
+		return nil, err
+	}
+	return c.issueNB(planCollect, planKey{kind: planCollect, count: count, dt: dt}, total, count*dt.Size(), send, recv)
+}
+
+// IAllToAll is the non-blocking equal-count AllToAll.
+func (c *Comm) IAllToAll(send, recv []byte, count int, dt Type) (*Request, error) {
+	total, err := c.vecBytes(count, dt, c.Size())
+	if err != nil {
+		return nil, err
+	}
+	return c.issueNB(planAllToAll, planKey{kind: planAllToAll, count: count, dt: dt}, total, count*dt.Size(), send, recv)
+}
+
+// IBarrier is the non-blocking Barrier.
+func (c *Comm) IBarrier() (*Request, error) {
+	return c.issueNB(planBarrier, planKey{kind: planBarrier, dt: Uint8}, 0, 0, nil, nil)
+}

@@ -1,0 +1,97 @@
+package icc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Request is the completion handle of an in-flight collective — one issued
+// by a non-blocking variant (IBcast, IAllReduce, ...) or by starting a
+// persistent handle. Requests complete on the communicator's progress
+// goroutine in issue order; Wait and Test are safe to call from any
+// goroutine, any number of times.
+type Request struct {
+	done chan struct{}
+	err  error // written before done closes, read only after
+}
+
+func newRequest() *Request { return &Request{done: make(chan struct{})} }
+
+// Wait blocks until the collective completes and returns its error.
+func (r *Request) Wait() error {
+	<-r.done
+	return r.err
+}
+
+// Test reports whether the collective has completed, without blocking; the
+// error is meaningful only once done is true.
+func (r *Request) Test() (bool, error) {
+	select {
+	case <-r.done:
+		return true, r.err
+	default:
+		return false, nil
+	}
+}
+
+// finish records the outcome and releases waiters.
+func (r *Request) finish(err error) {
+	r.err = err
+	close(r.done)
+}
+
+// progress is a communicator's request-execution engine: a FIFO queue
+// drained by one goroutine, started lazily at the first issue and exited
+// as soon as the queue empties, so an idle communicator owns no goroutine
+// and there is nothing to close or leak.
+type progress struct {
+	mu      sync.Mutex
+	queue   []queued
+	running bool
+}
+
+type queued struct {
+	run func() error
+	req *Request
+}
+
+// issue enqueues a collective and wakes the drain goroutine if needed.
+func (p *progress) issue(run func() error, req *Request) {
+	p.mu.Lock()
+	p.queue = append(p.queue, queued{run, req})
+	start := !p.running
+	if start {
+		p.running = true
+	}
+	p.mu.Unlock()
+	if start {
+		go p.drain()
+	}
+}
+
+// drain executes queued collectives strictly one at a time in issue order
+// — the ordering SPMD correctness requires — converting panics into the
+// request's error rather than killing the process.
+func (p *progress) drain() {
+	for {
+		p.mu.Lock()
+		if len(p.queue) == 0 {
+			p.running = false
+			p.mu.Unlock()
+			return
+		}
+		q := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		q.req.finish(p.runOne(q.run))
+	}
+}
+
+func (p *progress) runOne(run func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("icc: collective panicked: %v", v)
+		}
+	}()
+	return run()
+}
