@@ -29,11 +29,14 @@ race:
 	$(GO) test -race -short ./...
 
 # bench runs the plan-amortization benchmarks (persistent versus one-shot
-# all-reduce, plan-cache lookup) and records ns/op, allocs/op and the
-# cache hit rate in BENCH_6.json via cmd/benchjson.
+# all-reduce, plan-cache lookup), the hierarchical detour-pool allocs/op
+# benchmark, and the simulated flat / 2-level / 3-level comparison at 64
+# and 256 ranks, recording everything in BENCH_7.json via cmd/benchjson.
 bench:
-	$(GO) test -run XXX -bench 'PersistentAllReduce|OneShotAllReduce|PlanCache' \
-		-benchmem -count=1 . | $(GO) run ./cmd/benchjson -o BENCH_6.json
+	( $(GO) test -run XXX -bench 'PersistentAllReduce|OneShotAllReduce|PlanCache|HierCollectDeep' \
+		-benchmem -count=1 . ; \
+	  $(GO) test -run XXX -bench TreeCollective -benchtime 1x -count=1 ./internal/harness ) \
+		| $(GO) run ./cmd/benchjson -o BENCH_7.json
 
 # benchall touches every benchmark once (a smoke pass, not a measurement).
 benchall:

@@ -36,11 +36,12 @@ var AlgLong = Alg{kind: algLong}
 // AlgShape forces an explicit hybrid shape, e.g. the Table 2 entries.
 func AlgShape(s Shape) Alg { return Alg{kind: algShape, shape: s} }
 
-// AlgHier always uses the two-level hierarchical composition on
-// communicators carrying a cluster partition (WithClusters): intra-cluster
-// phases plus a leader-level phase. On communicators without a partition
-// it falls back to the automatic policy. Scatter and gather, which the
-// hierarchy cannot improve, run their flat algorithms.
+// AlgHier always uses the hierarchical composition on communicators
+// carrying a partition — a cluster map (WithClusters) or an N-level
+// topology (WithTopology): intra-block phases at the deepest level plus
+// one leader phase per coarser level. On communicators without a
+// partition it falls back to the automatic policy. Scatter and gather,
+// which the hierarchy cannot improve, run their flat algorithms.
 var AlgHier = Alg{kind: algHier}
 
 // String describes the policy.
@@ -53,7 +54,7 @@ func (a Alg) String() string {
 	case algShape:
 		return "shape " + a.shape.String()
 	case algHier:
-		return "hier (two-level)"
+		return "hier (recursive composition)"
 	default:
 		return "auto (model-selected hybrid)"
 	}

@@ -81,6 +81,16 @@ type Comm struct {
 	tl       model.TwoLevel
 	hasTL    bool
 	gplanner *model.Planner
+	// N-level hierarchy state. topo is the nested partition (WithTopology);
+	// when set, clusters mirrors its top level so every two-level code path
+	// keeps working. hier holds per-level machine parameters (WithMachines,
+	// or the endpoint's own); unstriped disables the striped all-reduce
+	// leader phase for comparison sweeps.
+	topo      group.Topology
+	hasTopo   bool
+	hier      model.Hierarchy
+	hasHier   bool
+	unstriped bool
 	// Plan-amortization state (persistent.go, nonblocking.go, request.go).
 	// All lazily initialized under planMu, so sub-communicators built as
 	// struct literals start with valid zero values. shapeMemo short-circuits
@@ -138,6 +148,27 @@ func WithTwoLevel(local, global Machine) Option {
 	return func(c *Comm) { c.tl, c.hasTL = model.TwoLevel{Local: local, Global: global}, true }
 }
 
+// WithMachines attaches one machine parameter set per hierarchy level,
+// coarsest first: machines[0] prices the network between top-level blocks
+// (e.g. racks), the last entry the fabric inside the deepest blocks. A
+// topology deeper than the list reuses the last entry for the remaining
+// levels, so two entries generalize WithTwoLevel to any depth. Simulated
+// hierarchical endpoints supply these automatically.
+func WithMachines(machines ...Machine) Option {
+	return func(c *Comm) {
+		c.hier = model.Hierarchy{Machines: append([]Machine(nil), machines...)}
+		c.hasHier = true
+	}
+}
+
+// WithUnstripedHier disables the striped leader phase of the hierarchical
+// all-reduce, forcing the reduce-to-leader / leader all-reduce / broadcast
+// fallback. A measurement knob: sweeps use it to show what striping the
+// leader phase across cluster members buys.
+func WithUnstripedHier() Option {
+	return func(c *Comm) { c.unstriped = true }
+}
+
 // New builds a whole-world communicator over an endpoint.
 func New(ep transport.Endpoint, opts ...Option) (*Comm, error) {
 	c := &Comm{
@@ -155,6 +186,9 @@ func New(ep transport.Endpoint, opts ...Option) (*Comm, error) {
 	if tp, ok := ep.(interface{ TwoLevel() model.TwoLevel }); ok {
 		c.tl, c.hasTL = tp.TwoLevel(), true
 	}
+	if hp, ok := ep.(interface{ Hierarchy() model.Hierarchy }); ok {
+		c.hier, c.hasHier = hp.Hierarchy(), true
+	}
 	for _, o := range opts {
 		o(c)
 	}
@@ -163,6 +197,11 @@ func New(ep transport.Endpoint, opts ...Option) (*Comm, error) {
 	}
 	if !c.hasMach {
 		c.mach = model.ParagonLike()
+	}
+	if c.hasHier {
+		if err := c.hier.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	c.planner = model.NewPlanner(c.mach)
 	return c, nil
@@ -204,6 +243,14 @@ func (c *Comm) ctx() core.Ctx {
 		tl := c.twoLevel()
 		x.Hier = &tl
 	}
+	if c.hasTopo {
+		x.Topology = &c.topo
+	}
+	if c.hasTopo || (c.hasHier && c.hasClusters) {
+		h := c.hierarchy()
+		x.Hierarchy = &h
+	}
+	x.Unstriped = c.unstriped
 	return x
 }
 
@@ -215,6 +262,19 @@ func (c *Comm) twoLevel() model.TwoLevel {
 		return c.tl
 	}
 	return model.Uniform(c.mach)
+}
+
+// hierarchy returns the per-level machine parameters, synthesized from the
+// two-level pair or the flat machine when no deeper set was supplied (on
+// the latter the hierarchy never wins, so auto-selection stays flat).
+func (c *Comm) hierarchy() model.Hierarchy {
+	if c.hasHier {
+		return c.hier
+	}
+	if c.hasTL {
+		return c.tl.Hierarchy()
+	}
+	return model.UniformHierarchy(c.mach)
 }
 
 // shape resolves the algorithm policy into a concrete hybrid shape for an
@@ -255,12 +315,18 @@ func (c *Comm) resolveShape(coll model.Collective, nBytes int) Shape {
 		return s
 	default:
 		if c.hasClusters {
-			// On a clustered machine a flat collective pays the global
+			// On a clustered machine a flat collective pays the coarsest
 			// network on most hops, so both the flat shape and the flat
-			// baseline cost come from the Global-parameter planner; run
-			// the hierarchy when the two-level composition undercuts it.
+			// baseline cost come from the coarse-parameter planner; run
+			// the hierarchy when the recursive composition undercuts it.
 			sg, flat := c.gplanner.Best(coll, c.layout, nBytes)
-			if c.twoLevel().HierCost(coll, c.clSizes, c.clContig, float64(nBytes)) < flat {
+			var h float64
+			if c.hasTopo {
+				h = c.hierarchy().Cost(coll, c.topo, float64(nBytes))
+			} else {
+				h = c.twoLevel().HierCost(coll, c.clSizes, c.clContig, float64(nBytes))
+			}
+			if h < flat {
 				return model.HierShape()
 			}
 			return sg
@@ -542,9 +608,15 @@ func (c *Comm) AllToAll(send, recv []byte, count int, dt Type) error {
 // AllToAllv is AllToAll with per-pair element counts: this rank sends
 // sendCounts[j] elements to rank j and receives recvCounts[j] elements
 // from rank j, so rank i's sendCounts[j] must equal rank j's
-// recvCounts[i]. Blocks travel directly (the pairwise schedule): relaying
-// schedules would require the full count matrix, which — as in
-// MPI_Alltoallv — no single rank holds.
+// recvCounts[i]. By default blocks travel directly (the pairwise
+// schedule): relaying schedules would require the full count matrix,
+// which — as in MPI_Alltoallv — no single rank holds. Under AlgHier on a
+// clustered communicator the library assembles that matrix on the fly
+// (leaders allgather their members' count rows) and runs the ragged
+// cluster exchange, aggregating every cluster-pair's blocks into one
+// coarse-network message. The policy gate is the algorithm choice, not
+// the byte count, so every rank takes the same path even though their
+// vector lengths differ.
 func (c *Comm) AllToAllv(send []byte, sendCounts []int, recv []byte, recvCounts []int, dt Type) error {
 	_, sTotal, err := c.offsets(sendCounts, dt)
 	if err != nil {
@@ -564,7 +636,11 @@ func (c *Comm) AllToAllv(send []byte, sendCounts []int, recv []byte, recvCounts 
 		}
 		sb, rb = send[:sTotal], recv[:rTotal]
 	}
-	return core.AllToAllv(c.ctx(), sb, sendCounts, rb, recvCounts, dt.Size())
+	var s Shape
+	if c.alg.kind == algHier && c.hasClusters {
+		s = model.HierShape()
+	}
+	return core.AllToAllv(c.ctx(), s, sb, sendCounts, rb, recvCounts, dt.Size())
 }
 
 // Barrier blocks until every node of the communicator has entered it,

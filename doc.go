@@ -63,6 +63,39 @@
 // uplink/downlink per cluster; cmd/hiersweep sweeps flat versus
 // hierarchical across scales and placements.
 //
+// # N-level topologies
+//
+// Real machines nest more than once: racks contain nodes contain
+// sockets. Comm.WithTopology declares any number of nested partition
+// levels, coarsest first (WithTopologyBySizes is the block-major
+// shorthand), and every hierarchical collective composes recursively —
+// an intra-block phase at the deepest level, then one leader phase per
+// coarser level, each independently planned. WithClusters is exactly
+// the depth-1 case and behaves as before. Per-level machine parameters
+// attach with WithMachines (coarsest first, deepest last); the
+// recursive cost model (model.Hierarchy) prices the whole tree against
+// the flat hybrid and against shallower compositions, so AlgAuto uses
+// exactly as many levels as pay for themselves.
+//
+//	h, _ := c.WithTopologyBySizes(64, 8) // racks of 64, nodes of 8
+//	h.AllReduce(send, recv, n, icc.Float64, icc.Sum)
+//
+// Two refinements matter at depth. The leader phase of a hierarchical
+// all-reduce is striped: the vector is reduce-scattered across a
+// block's members first, the members run the coarser-level all-reduce
+// on disjoint stripes concurrently, and a collect reassembles — the
+// shared uplink carries each byte once instead of once per leader hop
+// (WithUnstripedHier disables it for comparison). And the ragged
+// exchange AllToAllv composes hierarchically too: leaders allgather the
+// per-pair count matrix, then trade aggregated cluster-pair blocks, so
+// the shared links see Θ(K²) messages instead of Θ(p²).
+//
+// SimulateHierarchy is the N-level analogue of SimulateClusters: a
+// switched tree in which each block at each level owns one uplink and
+// one downlink, so deep traffic contends on every boundary it crosses.
+// cmd/hiersweep's -levels flag sweeps flat versus 2-level versus
+// N-level across placements.
+//
 // # Complete exchange (all-to-all)
 //
 // Comm.AllToAll performs the one dense pattern Table 1 lacks: every rank
@@ -87,9 +120,12 @@
 // cluster membership rather than index runs.
 //
 // Comm.AllToAllv is the ragged-count variant (per-pair element counts, as
-// in MPI_Alltoallv). Its blocks always travel directly via the pairwise
-// schedule: relaying or aggregating other ranks' blocks would require the
-// full count matrix, which no single rank holds.
+// in MPI_Alltoallv). Under AlgAuto its blocks travel directly via the
+// pairwise schedule — aggregating other ranks' blocks needs the full
+// count matrix, which no single rank holds. Forcing AlgHier on a
+// partitioned communicator buys that matrix: leaders allgather the
+// per-pair counts first, then run the same aggregated cluster-pair
+// exchange as AllToAll, zeros and all.
 //
 // # Non-blocking and persistent collectives
 //

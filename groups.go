@@ -39,17 +39,20 @@ func (c *Comm) Sub(ranks []int) (*Comm, error) {
 	}
 	sub, _ := group.DetectStructure(members, phys)
 	s := &Comm{
-		ep:      c.ep,
-		members: members,
-		me:      me,
-		layout:  sub,
-		mach:    c.mach,
-		hasMach: c.hasMach,
-		planner: c.planner,
-		alg:     c.alg,
-		seq:     c.seq,
-		tl:      c.tl,
-		hasTL:   c.hasTL,
+		ep:        c.ep,
+		members:   members,
+		me:        me,
+		layout:    sub,
+		mach:      c.mach,
+		hasMach:   c.hasMach,
+		planner:   c.planner,
+		alg:       c.alg,
+		seq:       c.seq,
+		tl:        c.tl,
+		hasTL:     c.hasTL,
+		hier:      c.hier,
+		hasHier:   c.hasHier,
+		unstriped: c.unstriped,
 	}
 	s.ctxID = c.seq.Add(1) & 0x7f
 	return s, nil
@@ -109,14 +112,83 @@ func (c *Comm) withClusterAssignment(assign []int) (*Comm, error) {
 		seq:         c.seq,
 		tl:          c.tl,
 		hasTL:       c.hasTL,
+		hier:        c.hier,
+		hasHier:     c.hasHier,
+		unstriped:   c.unstriped,
 		clusters:    cl,
 		hasClusters: true,
 		clSizes:     cl.Sizes(),
 		clContig:    cl.Contiguous(),
 	}
-	s.gplanner = model.NewPlanner(s.twoLevel().Global)
+	s.gplanner = model.NewPlanner(s.coarsest())
 	s.ctxID = c.seq.Add(1) & 0x7f
 	return s, nil
+}
+
+// WithTopology returns a communicator identical to c but carrying an
+// N-level nested partition of its ranks, coarsest level first: levels[0]
+// names each rank's top-level block (rack), levels[1] its block at the
+// next level down (node), and so on — each deeper level must nest inside
+// the one above. The top level doubles as the two-level cluster partition,
+// so everything WithClusters enables works unchanged; with per-level
+// machine parameters attached (WithMachines, or the endpoint's own) the
+// automatic policy weighs the recursive hierarchical composition against
+// flat hybrids, and AlgHier forces it. A single level is exactly
+// WithClusters. Every member must call WithTopology with the same levels.
+func (c *Comm) WithTopology(levels ...[]int) (*Comm, error) {
+	t, err := group.NewTopology(levels...)
+	if err != nil {
+		return nil, err
+	}
+	return c.withTopology(t)
+}
+
+// WithTopologyBySizes returns a communicator whose ranks form nested
+// consecutive blocks of the given sizes, coarsest first — e.g. (64, 8)
+// partitions the ranks into racks of 64 containing nodes of 8. Each finer
+// size must divide the coarser one.
+func (c *Comm) WithTopologyBySizes(sizes ...int) (*Comm, error) {
+	t, err := group.TopologyBySizes(c.Size(), sizes...)
+	if err != nil {
+		return nil, err
+	}
+	return c.withTopology(t)
+}
+
+func (c *Comm) withTopology(t group.Topology) (*Comm, error) {
+	if err := t.Validate(c.Size()); err != nil {
+		return nil, err
+	}
+	s, err := c.withClusterAssignment(t.Top().Assignment())
+	if err != nil {
+		return nil, err
+	}
+	s.topo = t
+	s.hasTopo = true
+	return s, nil
+}
+
+// Topology returns copies of the communicator's normalized per-level
+// partition assignments, coarsest first, or nil when none is attached.
+// A communicator built with WithClusters reports its partition as a
+// single level.
+func (c *Comm) Topology() [][]int {
+	if c.hasTopo {
+		return c.topo.Assignments()
+	}
+	if c.hasClusters {
+		return [][]int{c.clusters.Assignment()}
+	}
+	return nil
+}
+
+// coarsest returns the machine pricing the coarsest network level, the
+// honest flat baseline on a hierarchical machine.
+func (c *Comm) coarsest() model.Machine {
+	if c.hasHier {
+		return c.hier.At(0)
+	}
+	return c.twoLevel().Global
 }
 
 // Clusters returns the communicator's normalized rank→cluster assignment,

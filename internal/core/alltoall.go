@@ -50,11 +50,11 @@ func AllToAll(c Ctx, s model.Shape, send, recv []byte, count, es int) error {
 		return err
 	}
 	if s.Hier {
-		cl, tl, herr := c.hier()
+		ht, ms, herr := c.hierN()
 		if herr != nil {
 			return herr
 		}
-		return hierAllToAll(&e, cl, tl, send, recv, count, es)
+		return hierAllToAll(&e, ht, ms, send, recv, count, es)
 	}
 	if err := validateShape(&e, s); err != nil {
 		return err
@@ -69,14 +69,30 @@ func AllToAll(c Ctx, s model.Shape, send, recv []byte, count, es int) error {
 // AllToAllv is the complete exchange with per-pair counts: node i sends
 // sendCounts[j] elements to node j and receives recvCounts[j] elements
 // from node j (so rank i's sendCounts[j] must equal rank j's
-// recvCounts[i]). Only the pairwise schedule runs: both the Bruck relay
-// and the hierarchical composition forward other nodes' blocks, which
-// requires the full count matrix the interface (deliberately, like
-// MPI_Alltoallv) does not provide.
-func AllToAllv(c Ctx, send []byte, sendCounts []int, recv []byte, recvCounts []int, es int) error {
+// recvCounts[i]). The flat path runs only the pairwise schedule: the
+// Bruck relay forwards other nodes' blocks, which requires the full count
+// matrix the interface (deliberately, like MPI_Alltoallv) does not
+// provide. A hierarchical shape instead assembles that matrix on the fly —
+// leaders gather their members' count rows and allgather them — and runs
+// the ragged cluster exchange; this needs a carrying, non-recording
+// endpoint, so other endpoints fall back to the flat pairwise schedule.
+func AllToAllv(c Ctx, s model.Shape, send []byte, sendCounts []int, recv []byte, recvCounts []int, es int) error {
 	e := c.env()
 	if err := c.validate(); err != nil {
 		return err
+	}
+	if s.Hier && e.carry && e.rec == nil {
+		ht, ms, herr := c.hierN()
+		if herr != nil {
+			return herr
+		}
+		if _, err := countOffsets(c, sendCounts, es, e.carry, send); err != nil {
+			return err
+		}
+		if _, err := countOffsets(c, recvCounts, es, e.carry, recv); err != nil {
+			return err
+		}
+		return hierAllToAllv(&e, ht, ms, send, sendCounts, recv, recvCounts, es)
 	}
 	sOffs, err := countOffsets(c, sendCounts, es, e.carry, send)
 	if err != nil {

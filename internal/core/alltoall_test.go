@@ -120,7 +120,7 @@ func TestAllToAllvRagged(t *testing.T) {
 					want = append(want, xBlock(src, c.Me, recvCounts[src])...)
 				}
 				recv := make([]byte, len(want))
-				if err := AllToAllv(c, send, sendCounts, recv, recvCounts, 1); err != nil {
+				if err := AllToAllv(c, model.Shape{}, send, sendCounts, recv, recvCounts, 1); err != nil {
 					return err
 				}
 				if !bytes.Equal(recv, want) {
@@ -204,12 +204,12 @@ func TestAllToAllErrors(t *testing.T) {
 		if err := AllToAll(c, model.HierShape(), make([]byte, 16), make([]byte, 16), 1, 8); err == nil {
 			return fmt.Errorf("hierarchical shape without a partition accepted")
 		}
-		if err := AllToAllv(c, nil, []int{1}, nil, []int{1, 1}, 1); err == nil {
+		if err := AllToAllv(c, model.Shape{}, nil, []int{1}, nil, []int{1, 1}, 1); err == nil {
 			return fmt.Errorf("wrong sendCounts length accepted")
 		}
 		// Self-block mismatch on both ranks, so the failure is symmetric
 		// (SPMD) and no rank is left waiting on a peer that errored out.
-		if err := AllToAllv(c, make([]byte, 4), []int{2, 2}, make([]byte, 2), []int{1, 1}, 1); err == nil {
+		if err := AllToAllv(c, model.Shape{}, make([]byte, 4), []int{2, 2}, make([]byte, 2), []int{1, 1}, 1); err == nil {
 			return fmt.Errorf("inconsistent self count accepted")
 		}
 		return nil

@@ -55,11 +55,11 @@ func BuildBcast(c Ctx, s model.Shape, root, count, es int) (*Plan, error) {
 	n := count * es
 	buf := r.registerBuf(n)
 	if s.Hier {
-		cl, tl, herr := c.hier()
+		ht, ms, herr := c.hierN()
 		if herr != nil {
 			return nil, herr
 		}
-		err = hierBcast(&e, cl, tl, root, buf, count, es)
+		err = hierBcast(&e, ht, ms, root, buf, count, es)
 	} else {
 		err = hybridBcast(&e, s, root, buf, count, es)
 	}
@@ -86,11 +86,11 @@ func BuildReduce(c Ctx, s model.Shape, root, count int, dt datatype.Type, op dat
 	n := count * es
 	buf, tmp := r.registerBuf(n), r.registerTmp(n)
 	if s.Hier {
-		cl, tl, herr := c.hier()
+		ht, ms, herr := c.hierN()
 		if herr != nil {
 			return nil, herr
 		}
-		err = hierReduce(&e, cl, tl, root, buf, tmp, count, es, dt, op)
+		err = hierReduce(&e, ht, ms, root, buf, tmp, count, es, dt, op)
 	} else {
 		err = hybridReduce(&e, s, root, buf, tmp, count, es, dt, op)
 	}
@@ -114,11 +114,11 @@ func BuildAllReduce(c Ctx, s model.Shape, count int, dt datatype.Type, op dataty
 	n := count * es
 	buf, tmp := r.registerBuf(n), r.registerTmp(n)
 	if s.Hier {
-		cl, tl, herr := c.hier()
+		ht, ms, herr := c.hierN()
 		if herr != nil {
 			return nil, herr
 		}
-		err = hierAllReduce(&e, cl, tl, buf, tmp, count, es, dt, op)
+		err = hierAllReduce(&e, ht, ms, buf, tmp, count, es, dt, op)
 	} else {
 		err = hybridAllReduce(&e, s, buf, tmp, count, es, dt, op)
 	}
@@ -191,11 +191,11 @@ func BuildCollect(c Ctx, s model.Shape, counts []int, es int) (*Plan, error) {
 	total := offs[len(offs)-1]
 	buf := r.registerBuf(total)
 	if s.Hier {
-		cl, tl, herr := c.hier()
+		ht, ms, herr := c.hierN()
 		if herr != nil {
 			return nil, herr
 		}
-		err = hierCollect(&e, cl, tl, offs, buf)
+		err = hierCollect(&e, ht, ms, offs, buf)
 	} else {
 		err = hybridCollect(&e, s, offs, buf)
 	}
@@ -219,11 +219,11 @@ func BuildReduceScatter(c Ctx, s model.Shape, counts []int, dt datatype.Type, op
 	total := offs[len(offs)-1]
 	buf, tmp := r.registerBuf(total), r.registerTmp(total)
 	if s.Hier {
-		cl, tl, herr := c.hier()
+		ht, ms, herr := c.hierN()
 		if herr != nil {
 			return nil, herr
 		}
-		err = hierReduceScatter(&e, cl, tl, offs, buf, tmp, dt, op)
+		err = hierReduceScatter(&e, ht, ms, offs, buf, tmp, dt, op)
 	} else {
 		err = hybridReduceScatter(&e, s, offs, buf, tmp, dt, op)
 	}
@@ -246,11 +246,11 @@ func BuildAllToAll(c Ctx, s model.Shape, count, es int) (*Plan, error) {
 	n := e.p() * count * es
 	send, recv := r.registerBuf(n), r.registerTmp(n)
 	if s.Hier {
-		cl, tl, herr := c.hier()
+		ht, ms, herr := c.hierN()
 		if herr != nil {
 			return nil, herr
 		}
-		err = hierAllToAll(&e, cl, tl, send, recv, count, es)
+		err = hierAllToAll(&e, ht, ms, send, recv, count, es)
 	} else if err = validateShape(&e, s); err == nil {
 		if s.ShortFrom == 0 {
 			err = bruckAllToAll(&e, 0, send, recv, count, es)

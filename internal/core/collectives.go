@@ -27,6 +27,16 @@ type Ctx struct {
 	// execution uses them to choose each phase's algorithm (short MST vs
 	// long bucket) per level. When nil, Machine is used for both levels.
 	Hier *model.TwoLevel
+	// Topology, when non-nil, is the N-level nested partition hierarchical
+	// shapes execute over; it takes precedence over Clusters (whose
+	// partition is the depth-1 special case).
+	Topology *group.Topology
+	// Hierarchy optionally supplies per-level machine parameters for an
+	// N-level topology; it takes precedence over Hier.
+	Hierarchy *model.Hierarchy
+	// Unstriped disables the striped leader phase of the hierarchical
+	// all-reduce (comparison sweeps only).
+	Unstriped bool
 }
 
 // NewCtx builds a whole-world context for an endpoint.
@@ -37,8 +47,9 @@ func NewCtx(ep transport.Endpoint, coll uint32) Ctx {
 func (c Ctx) env() env {
 	e := env{
 		ep: c.EP, members: c.Members, me: c.Me,
-		coll:  c.Coll,
-		carry: transport.CarriesData(c.EP),
+		coll:      c.Coll,
+		carry:     transport.CarriesData(c.EP),
+		unstriped: c.Unstriped,
 	}
 	if c.Machine != nil {
 		e.mach = *c.Machine
@@ -89,11 +100,11 @@ func Bcast(c Ctx, s model.Shape, root int, buf []byte, count, es int) error {
 		return err
 	}
 	if s.Hier {
-		cl, tl, herr := c.hier()
+		ht, ms, herr := c.hierN()
 		if herr != nil {
 			return herr
 		}
-		return hierBcast(&e, cl, tl, root, buf, count, es)
+		return hierBcast(&e, ht, ms, root, buf, count, es)
 	}
 	return hybridBcast(&e, s, root, buf, count, es)
 }
@@ -118,11 +129,11 @@ func Reduce(c Ctx, s model.Shape, root int, buf, tmp []byte, count int, dt datat
 		return err
 	}
 	if s.Hier {
-		cl, tl, herr := c.hier()
+		ht, ms, herr := c.hierN()
 		if herr != nil {
 			return herr
 		}
-		return hierReduce(&e, cl, tl, root, buf, tmp, count, es, dt, op)
+		return hierReduce(&e, ht, ms, root, buf, tmp, count, es, dt, op)
 	}
 	return hybridReduce(&e, s, root, buf, tmp, count, es, dt, op)
 }
@@ -142,11 +153,11 @@ func AllReduce(c Ctx, s model.Shape, buf, tmp []byte, count int, dt datatype.Typ
 		return err
 	}
 	if s.Hier {
-		cl, tl, herr := c.hier()
+		ht, ms, herr := c.hierN()
 		if herr != nil {
 			return herr
 		}
-		return hierAllReduce(&e, cl, tl, buf, tmp, count, es, dt, op)
+		return hierAllReduce(&e, ht, ms, buf, tmp, count, es, dt, op)
 	}
 	return hybridAllReduce(&e, s, buf, tmp, count, es, dt, op)
 }
@@ -209,11 +220,11 @@ func Collect(c Ctx, s model.Shape, buf []byte, counts []int, es int) error {
 		return err
 	}
 	if s.Hier {
-		cl, tl, herr := c.hier()
+		ht, ms, herr := c.hierN()
 		if herr != nil {
 			return herr
 		}
-		return hierCollect(&e, cl, tl, offs, buf)
+		return hierCollect(&e, ht, ms, offs, buf)
 	}
 	return hybridCollect(&e, s, offs, buf)
 }
@@ -236,11 +247,11 @@ func ReduceScatter(c Ctx, s model.Shape, buf, tmp []byte, counts []int, dt datat
 		return err
 	}
 	if s.Hier {
-		cl, tl, herr := c.hier()
+		ht, ms, herr := c.hierN()
 		if herr != nil {
 			return herr
 		}
-		return hierReduceScatter(&e, cl, tl, offs, buf, tmp, dt, op)
+		return hierReduceScatter(&e, ht, ms, offs, buf, tmp, dt, op)
 	}
 	return hybridReduceScatter(&e, s, offs, buf, tmp, dt, op)
 }

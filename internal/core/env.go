@@ -35,6 +35,10 @@ type env struct {
 	// hierarchical collective — each of which runs a complete flat
 	// collective with its own phase numbering — occupy disjoint tag ranges.
 	phaseOff uint32
+	// unstriped disables the striped leader phase of the hierarchical
+	// all-reduce, forcing the reduce/broadcast fallback (for comparison
+	// sweeps).
+	unstriped bool
 	// rec, when non-nil, switches the env into plan-recording mode: every
 	// send, receive, combine, copy and allocation is captured as a Plan
 	// step instead of being executed. The algorithms above this layer are
@@ -200,6 +204,6 @@ func (e *env) dimEnv(d model.Dim) env {
 	return env{
 		ep: e.ep, members: members, me: x,
 		coll: e.coll, carry: e.carry, mach: e.mach, hasMach: e.hasMach,
-		phaseOff: e.phaseOff, rec: e.rec,
+		phaseOff: e.phaseOff, unstriped: e.unstriped, rec: e.rec,
 	}
 }

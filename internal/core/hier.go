@@ -2,52 +2,95 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/datatype"
 	"repro/internal/group"
 	"repro/internal/model"
 )
 
-// Hierarchical two-level collectives. The paper builds every collective
-// from composable building blocks; this file composes those same blocks
-// across a two-level machine: an intra-cluster phase runs inside each
-// cluster (cheap local network), a leader-level phase runs among one
-// representative per cluster (expensive global network). Each phase is a
-// complete flat collective over a sub-group, executed by the existing
-// hybrid machinery, so the short/long/hybrid menu of §4–§6 is reused
-// per level rather than reimplemented.
+// Hierarchical collectives over N-level topologies. The paper builds every
+// collective from composable building blocks; this file composes those
+// same blocks recursively over a nested partition (rack → node → socket):
+// an intra phase runs inside each deepest block, leader phases ascend one
+// level at a time, and redistribution descends. Each phase is a complete
+// flat collective over a sub-group, executed by the existing hybrid
+// machinery, so the short/long/hybrid menu of §4–§6 is reused per level
+// rather than reimplemented. The two-level schedule of the paper is
+// exactly the depth-1 case.
 //
 // Data placement: broadcast, reduce and all-reduce move whole vectors, so
-// any cluster partition works in place. Collect and reduce-scatter carve
-// the vector into per-node segments; when every cluster is a contiguous
-// run of logical indices the cluster blocks are index-contiguous and the
-// phases run in place, otherwise the leader phase runs over a packed copy
-// of the vector (cluster blocks made contiguous in scratch) and unpacks
-// afterwards.
+// any placement works in place. The partitioned collectives (collect,
+// reduce-scatter, the striped all-reduce) address blocks as byte ranges,
+// which requires the topology's depth-first member order to be the
+// identity; other placements run the recursion over a canonically
+// relabeled group — all-reduce and all-to-all by pure relabeling, collect
+// and reduce-scatter through a pack/unpack detour into pooled scratch.
 
-// hierStagePhases is the tag-phase stride between hierarchical stages, so
-// each stage's inner collective gets a disjoint phase range.
-const hierStagePhases = 8
+// hierStagePhases is the tag-phase stride between the stages of one
+// hierarchy level, so each stage's inner flat collective gets a disjoint
+// phase range. hierLevelPhases is the stride between recursion levels:
+// four stage slots per level. Stages at one level reuse the deeper window
+// sequentially, which is safe because every transport delivers per-pair
+// FIFO and all ranks execute stages in the same order. group.MaxDepth
+// bounds the recursion so the deepest window stays inside the 8-bit
+// phase field.
+const (
+	hierStagePhases = 8
+	hierLevelPhases = 4 * hierStagePhases
+)
 
-// hier resolves the invocation's cluster partition and two-level machine.
-func (c Ctx) hier() (group.Cluster, model.TwoLevel, error) {
-	if c.Clusters == nil {
-		return group.Cluster{}, model.TwoLevel{}, fmt.Errorf("core: hierarchical shape without a cluster partition")
+// machs is the per-level machine parameter list, coarsest first; at
+// clamps to the deepest entry, so a two-entry [Global, Local] list prices
+// any depth.
+type machs []model.Machine
+
+func (ms machs) at(l int) model.Machine {
+	if l >= len(ms) {
+		l = len(ms) - 1
 	}
-	cl := *c.Clusters
-	if err := cl.Validate(len(c.Members)); err != nil {
-		return group.Cluster{}, model.TwoLevel{}, err
-	}
-	var tl model.TwoLevel
+	return ms[l]
+}
+
+// hierN resolves the invocation's topology and per-level machines.
+func (c Ctx) hierN() (group.Topology, machs, error) {
+	var t group.Topology
 	switch {
-	case c.Hier != nil:
-		tl = *c.Hier
-	case c.Machine != nil:
-		tl = model.Uniform(*c.Machine)
+	case c.Topology != nil:
+		t = *c.Topology
+	case c.Clusters != nil:
+		t = group.FromCluster(*c.Clusters)
 	default:
-		tl = model.Uniform(model.ParagonLike())
+		return group.Topology{}, nil, fmt.Errorf("core: hierarchical shape without a cluster partition")
 	}
-	return cl, tl, nil
+	if err := t.Validate(len(c.Members)); err != nil {
+		return group.Topology{}, nil, err
+	}
+	var ms machs
+	switch {
+	case c.Hierarchy != nil:
+		ms = machs(c.Hierarchy.Machines)
+	case c.Hier != nil:
+		ms = machs{c.Hier.Global, c.Hier.Local}
+	case c.Machine != nil:
+		ms = machs{*c.Machine}
+	default:
+		ms = machs{model.ParagonLike()}
+	}
+	if len(ms) == 0 {
+		ms = machs{model.ParagonLike()}
+	}
+	return t, ms, nil
+}
+
+// sub returns block k's internal topology, or nil when t is depth-1 (its
+// blocks are flat member sets).
+func subTopo(t *group.Topology, k int) *group.Topology {
+	if t.Depth() <= 1 {
+		return nil
+	}
+	s := t.Sub(k)
+	return &s
 }
 
 // subEnv restricts e to the listed logical indices (of e's own index
@@ -65,7 +108,8 @@ func subEnv(e *env, idxs []int, phaseOff uint32) (env, bool) {
 	return env{
 		ep: e.ep, members: members, me: me,
 		coll: e.coll, carry: e.carry, mach: e.mach, hasMach: e.hasMach,
-		phaseOff: e.phaseOff + phaseOff, rec: e.rec,
+		unstriped: e.unstriped,
+		phaseOff:  e.phaseOff + phaseOff, rec: e.rec,
 	}, me >= 0
 }
 
@@ -82,9 +126,9 @@ func linShape(q, shortFrom int) model.Shape {
 
 // phaseShape picks the cheaper fixed endpoint — short (MST) or long
 // (bucket) — for one phase of a hierarchical collective: collective coll
-// over q nodes moving n bytes on machine m. This mirrors
-// model.TwoLevel.HierCost; the menus must stay aligned for the planner's
-// hierarchy-versus-flat decision to be trustworthy.
+// over q nodes moving n bytes on machine m. This mirrors the per-level
+// choices of model.Hierarchy.Cost; the menus must stay aligned for the
+// planner's hierarchy-versus-flat decision to be trustworthy.
 func phaseShape(m model.Machine, coll model.Collective, q, n int) model.Shape {
 	nf := float64(n)
 	var short, long float64
@@ -129,123 +173,65 @@ func reps(cl group.Cluster, root int) []int {
 	return r
 }
 
-// hierBcast: leader-level broadcast from root among representatives, then
-// an intra-cluster broadcast from each representative.
-func hierBcast(e *env, cl group.Cluster, tl model.TwoLevel, root int, buf []byte, count, es int) error {
-	n := count * es
-	rp := reps(cl, root)
-	if sub, ok := subEnv(e, rp, 0); ok {
-		s := phaseShape(tl.Global, model.Bcast, cl.K(), n)
-		if err := hybridBcast(&sub, s, cl.Of(root), buf, count, es); err != nil {
-			return err
+// isIdentity reports whether ord is 0,1,2,...
+func isIdentity(ord []int) bool {
+	for j, o := range ord {
+		if j != o {
+			return false
 		}
 	}
-	mem := cl.Members(cl.Of(e.me))
-	if len(mem) > 1 {
-		sub, _ := subEnv(e, mem, hierStagePhases)
-		s := phaseShape(tl.Local, model.Bcast, len(mem), n)
-		if err := hybridBcast(&sub, s, indexOf(mem, rp[cl.Of(e.me)]), buf, count, es); err != nil {
-			return err
-		}
-	}
-	return nil
+	return true
 }
 
-// hierReduce: intra-cluster combine-to-one at each representative, then a
-// leader-level combine-to-one at root.
-func hierReduce(e *env, cl group.Cluster, tl model.TwoLevel, root int, buf, tmp []byte, count, es int, dt datatype.Type, op datatype.Op) error {
-	n := count * es
-	rp := reps(cl, root)
-	mem := cl.Members(cl.Of(e.me))
-	if len(mem) > 1 {
-		sub, _ := subEnv(e, mem, 0)
-		s := phaseShape(tl.Local, model.Reduce, len(mem), n)
-		if err := hybridReduce(&sub, s, indexOf(mem, rp[cl.Of(e.me)]), buf, tmp, count, es, dt, op); err != nil {
-			return err
+// canonTopology rebuilds t over the permuted index space in which
+// position j is occupied by original index ord[j]. For ord = t.RecOrder()
+// the result is recursively contiguous, which lets the partitioned
+// recursion address every block as a byte range.
+func canonTopology(t group.Topology, ord []int) group.Topology {
+	asg := t.Assignments()
+	for l := range asg {
+		lv := make([]int, len(ord))
+		for j, o := range ord {
+			lv[j] = asg[l][o]
 		}
+		asg[l] = lv
 	}
-	if sub, ok := subEnv(e, rp, hierStagePhases); ok {
-		s := phaseShape(tl.Global, model.Reduce, cl.K(), n)
-		if err := hybridReduce(&sub, s, cl.Of(root), buf, tmp, count, es, dt, op); err != nil {
-			return err
-		}
+	ct, err := group.NewTopology(asg...)
+	if err != nil {
+		// A permutation of a valid nested partition stays valid.
+		panic(err)
 	}
-	return nil
+	return ct
 }
 
-// hierAllReduce: intra-cluster combine-to-one at each leader, leader-level
-// combine-to-all, then an intra-cluster broadcast of the result.
-func hierAllReduce(e *env, cl group.Cluster, tl model.TwoLevel, buf, tmp []byte, count, es int, dt datatype.Type, op datatype.Op) error {
-	n := count * es
-	mem := cl.Members(cl.Of(e.me))
-	if len(mem) > 1 {
-		sub, _ := subEnv(e, mem, 0)
-		s := phaseShape(tl.Local, model.Reduce, len(mem), n)
-		if err := hybridReduce(&sub, s, 0, buf, tmp, count, es, dt, op); err != nil {
-			return err
-		}
-	}
-	if sub, ok := subEnv(e, cl.Leaders(), hierStagePhases); ok {
-		s := phaseShape(tl.Global, model.AllReduce, cl.K(), n)
-		if err := hybridAllReduce(&sub, s, buf, tmp, count, es, dt, op); err != nil {
-			return err
-		}
-	}
-	if len(mem) > 1 {
-		sub, _ := subEnv(e, mem, 2*hierStagePhases)
-		s := phaseShape(tl.Local, model.Bcast, len(mem), n)
-		if err := hybridBcast(&sub, s, 0, buf, count, es); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// detourPool recycles the pack/unpack detour buffers of the hierarchical
+// collectives (pMR-style reuse), so deep hierarchies allocate O(1) per
+// phase in steady state instead of paying GC tax for every level.
+var detourPool = sync.Pool{New: func() any { return new([]byte) }}
 
-// packing describes the permuted vector layout in which every cluster's
-// bytes are contiguous: cluster blocks in cluster order, member segments in
-// ascending index order within each block.
-type packing struct {
-	segOff   []int // segOff[i] = packed byte offset of logical node i's segment
-	blockOff []int // blockOff[k] = packed byte offset of cluster k's block; len K+1
-}
-
-func newPacking(cl group.Cluster, offs []int) packing {
-	p := packing{
-		segOff:   make([]int, cl.P()),
-		blockOff: make([]int, cl.K()+1),
+// detour returns an n-byte scratch buffer and its release function. The
+// buffer is pooled and NOT zeroed — callers write every region before
+// reading it. In recording mode the buffer is carved from the plan's
+// scratch arena and never recycled (plan steps alias it); in timing-only
+// mode it is nil, like alloc.
+func (e *env) detour(n int) ([]byte, func()) {
+	if e.rec != nil {
+		return e.rec.alloc(n), func() {}
 	}
-	at := 0
-	for k := 0; k < cl.K(); k++ {
-		p.blockOff[k] = at
-		for _, i := range cl.Members(k) {
-			p.segOff[i] = at
-			at += offs[i+1] - offs[i]
-		}
-	}
-	p.blockOff[cl.K()] = at
-	return p
-}
-
-// pack copies every segment of src into its packed position in dst;
-// unpack is the inverse. Both are no-ops in timing-only mode.
-func (pk packing) pack(e *env, cl group.Cluster, offs []int, dst, src []byte) {
 	if !e.carry {
-		return
+		return nil, func() {}
 	}
-	for i := 0; i < cl.P(); i++ {
-		n := offs[i+1] - offs[i]
-		e.copyb(dst[pk.segOff[i]:pk.segOff[i]+n], src[offs[i]:offs[i+1]])
+	bp := detourPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
 	}
+	return (*bp)[:n], func() { detourPool.Put(bp) }
 }
 
-func (pk packing) unpack(e *env, cl group.Cluster, offs []int, dst, src []byte) {
-	if !e.carry {
-		return
-	}
-	for i := 0; i < cl.P(); i++ {
-		n := offs[i+1] - offs[i]
-		e.copyb(dst[offs[i]:offs[i+1]], src[pk.segOff[i]:pk.segOff[i]+n])
-	}
+// contigOffs re-slices a group's absolute offsets to a contiguous member
+// run — valid only after canonicalization.
+func contigOffs(offs []int, mem []int) []int {
+	return offs[mem[0] : mem[len(mem)-1]+2]
 }
 
 // clusterOffs returns the K+1 byte offsets of the cluster blocks of a
@@ -259,277 +245,335 @@ func clusterOffs(cl group.Cluster, offs []int) []int {
 	return lo
 }
 
-// memberOffs returns the byte offsets of one cluster's member segments,
-// valid only for a contiguous cluster.
-func memberOffs(mem []int, offs []int) []int {
-	g := make([]int, len(mem)+1)
-	for t, i := range mem {
-		g[t] = offs[i]
-	}
-	g[len(mem)] = offs[mem[len(mem)-1]+1]
-	return g
+// hierBcast broadcasts from root over the topology: a leader-level
+// broadcast among block representatives descends into a recursive
+// broadcast inside each block. Whole vectors move, so any placement runs
+// in place.
+func hierBcast(e *env, t group.Topology, ms machs, root int, buf []byte, count, es int) error {
+	return bcastTree(e, &t, ms, 0, root, buf, count, es)
 }
 
-// hierCollect: intra-cluster gather to each leader, leader-level collect
-// of the cluster blocks, then an intra-cluster broadcast of the whole
-// vector. Contiguous partitions run in place; arbitrary partitions gather
-// point-to-point and run the leader collect over a packed copy.
-func hierCollect(e *env, cl group.Cluster, tl model.TwoLevel, offs []int, buf []byte) error {
-	total := offs[len(offs)-1]
-	myC := cl.Of(e.me)
-	mem := cl.Members(myC)
-	leader := mem[0]
-	contig := cl.Contiguous()
-
-	// Stage 1: assemble the cluster's block at its leader.
-	if len(mem) > 1 {
-		if contig {
-			sub, _ := subEnv(e, mem, 0)
-			if err := mstGather(&sub, 0, 0, memberOffs(mem, offs), buf, 0); err != nil {
-				return err
-			}
-		} else if err := directGather(e, mem, leader, offs, buf, 0); err != nil {
+func bcastTree(e *env, t *group.Topology, ms machs, lvl, root int, buf []byte, count, es int) error {
+	n := count * es
+	if t == nil {
+		s := phaseShape(ms.at(lvl), model.Bcast, e.p(), n)
+		return hybridBcast(e, s, root, buf, count, es)
+	}
+	cl := t.Top()
+	rp := reps(cl, root)
+	if sub, ok := subEnv(e, rp, 0); ok {
+		s := phaseShape(ms.at(lvl), model.Bcast, cl.K(), n)
+		if err := hybridBcast(&sub, s, cl.Of(root), buf, count, es); err != nil {
 			return err
 		}
 	}
+	myC := cl.Of(e.me)
+	mem := cl.Members(myC)
+	if len(mem) > 1 {
+		se, _ := subEnv(e, mem, hierLevelPhases)
+		return bcastTree(&se, subTopo(t, myC), ms, lvl+1, indexOf(mem, rp[myC]), buf, count, es)
+	}
+	return nil
+}
 
-	// Stage 2: leaders exchange cluster blocks.
-	if e.me == leader && cl.K() > 1 {
-		s := phaseShape(tl.Global, model.Collect, cl.K(), total)
-		sub, _ := subEnv(e, cl.Leaders(), hierStagePhases)
-		if contig {
-			if err := hybridCollect(&sub, s, clusterOffs(cl, offs), buf); err != nil {
-				return err
-			}
-		} else {
-			pk := newPacking(cl, offs)
-			scratch := e.alloc(total)
-			pk.pack(e, cl, offs, scratch, buf)
-			if err := hybridCollect(&sub, s, pk.blockOff, scratch); err != nil {
-				return err
-			}
-			pk.unpack(e, cl, offs, buf, scratch)
+// hierReduce combines every contribution at root: recursive combines
+// ascend to block representatives, then a leader-level combine lands at
+// root.
+func hierReduce(e *env, t group.Topology, ms machs, root int, buf, tmp []byte, count, es int, dt datatype.Type, op datatype.Op) error {
+	return reduceTree(e, &t, ms, 0, root, buf, tmp, count, es, dt, op)
+}
+
+func reduceTree(e *env, t *group.Topology, ms machs, lvl, root int, buf, tmp []byte, count, es int, dt datatype.Type, op datatype.Op) error {
+	n := count * es
+	if t == nil {
+		s := phaseShape(ms.at(lvl), model.Reduce, e.p(), n)
+		return hybridReduce(e, s, root, buf, tmp, count, es, dt, op)
+	}
+	cl := t.Top()
+	rp := reps(cl, root)
+	myC := cl.Of(e.me)
+	mem := cl.Members(myC)
+	if len(mem) > 1 {
+		se, _ := subEnv(e, mem, hierLevelPhases)
+		if err := reduceTree(&se, subTopo(t, myC), ms, lvl+1, indexOf(mem, rp[myC]), buf, tmp, count, es, dt, op); err != nil {
+			return err
 		}
 	}
-
-	// Stage 3: broadcast the assembled vector inside each cluster.
-	if len(mem) > 1 {
-		sub, _ := subEnv(e, mem, 2*hierStagePhases)
-		s := phaseShape(tl.Local, model.Bcast, len(mem), total)
-		if err := hybridBcast(&sub, s, 0, buf, total, 1); err != nil {
+	if sub, ok := subEnv(e, rp, 0); ok {
+		s := phaseShape(ms.at(lvl), model.Reduce, cl.K(), n)
+		if err := hybridReduce(&sub, s, cl.Of(root), buf, tmp, count, es, dt, op); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// hierReduceScatter: intra-cluster combine-to-one of the full vector at
-// each leader, leader-level distributed combine over the cluster blocks,
-// then an intra-cluster scatter of each block's member segments.
-func hierReduceScatter(e *env, cl group.Cluster, tl model.TwoLevel, offs []int, buf, tmp []byte, dt datatype.Type, op datatype.Op) error {
-	total := offs[len(offs)-1]
-	es := dt.Size()
-	count := total / es
-	myC := cl.Of(e.me)
-	mem := cl.Members(myC)
-	leader := mem[0]
-	contig := cl.Contiguous()
-
-	// Stage 1: combine full contributions at the cluster leader.
-	if len(mem) > 1 {
-		sub, _ := subEnv(e, mem, 0)
-		s := phaseShape(tl.Local, model.Reduce, len(mem), total)
-		if err := hybridReduce(&sub, s, 0, buf, tmp, count, es, dt, op); err != nil {
-			return err
-		}
+// hierAllReduce combines every contribution on every node. With equal
+// block sizes the leader phase is striped across block members: each
+// block reduce-scatters its vector, the members at the same position
+// across blocks all-reduce their stripe concurrently (using the whole
+// uplink pipeline instead of one leader rank), and each block collects
+// the stripes back. Unequal blocks — or an explicit Unstriped request —
+// fall back to reduce-to-representative, leader all-reduce, broadcast.
+// All-reduce is symmetric, so non-contiguous placements are handled by
+// pure relabeling along the topology's depth-first order.
+func hierAllReduce(e *env, t group.Topology, ms machs, buf, tmp []byte, count, es int, dt datatype.Type, op datatype.Op) error {
+	if ord := t.RecOrder(); !isIdentity(ord) {
+		ce, _ := subEnv(e, ord, 0)
+		ct := canonTopology(t, ord)
+		return allReduceTree(&ce, &ct, ms, 0, buf, tmp, count, es, dt, op)
 	}
-
-	// Stage 2: leaders run the distributed combine over cluster blocks.
-	if e.me == leader && cl.K() > 1 {
-		s := phaseShape(tl.Global, model.ReduceScatter, cl.K(), total)
-		sub, _ := subEnv(e, cl.Leaders(), hierStagePhases)
-		if contig {
-			if err := hybridReduceScatter(&sub, s, clusterOffs(cl, offs), buf, tmp, dt, op); err != nil {
-				return err
-			}
-		} else {
-			pk := newPacking(cl, offs)
-			scratch := e.alloc(total)
-			scratch2 := e.alloc(total)
-			pk.pack(e, cl, offs, scratch, buf)
-			if err := hybridReduceScatter(&sub, s, pk.blockOff, scratch, scratch2, dt, op); err != nil {
-				return err
-			}
-			pk.unpack(e, cl, offs, buf, scratch)
-		}
-	}
-
-	// Stage 3: scatter the block's member segments inside each cluster.
-	if len(mem) > 1 {
-		if contig {
-			sub, _ := subEnv(e, mem, 2*hierStagePhases)
-			if err := mstScatter(&sub, 0, 0, memberOffs(mem, offs), buf, 0); err != nil {
-				return err
-			}
-		} else if err := directScatter(e, mem, leader, offs, buf, 2*hierStagePhases); err != nil {
-			return err
-		}
-	}
-	return nil
+	return allReduceTree(e, &t, ms, 0, buf, tmp, count, es, dt, op)
 }
 
-// hierAllToAll: members ship their whole personalized vector to the
-// cluster leader, leaders run a complete exchange of cluster-pair blocks
-// over the global network (the block for cluster d aggregates every
-// member-to-member block between the two clusters), and leaders
-// redistribute the reassembled per-member results — replacing the Θ(p)
-// NIC messages every rank pays under a flat schedule with Θ(K) aggregated
-// messages per leader. Packing is by cluster membership, not index runs,
-// so arbitrary (non-contiguous, uneven) placements need no special path.
-// Uneven cluster sizes force the pairwise schedule at the leader level
-// (the Bruck relay needs equal blocks), matching TwoLevel.HierCost.
-func hierAllToAll(e *env, cl group.Cluster, tl model.TwoLevel, send, recv []byte, count, es int) error {
-	p := e.p()
-	blk := count * es
-	n := p * blk
-	mem := cl.Members(cl.Of(e.me))
-	q := len(mem)
-	leader := mem[0]
+func allReduceTree(e *env, t *group.Topology, ms machs, lvl int, buf, tmp []byte, count, es int, dt datatype.Type, op datatype.Op) error {
+	n := count * es
+	if t == nil {
+		s := phaseShape(ms.at(lvl), model.AllReduce, e.p(), n)
+		return hybridAllReduce(e, s, buf, tmp, count, es, dt, op)
+	}
+	cl := t.Top()
 	K := cl.K()
-	myPos := indexOf(mem, e.me)
-
-	if e.me != leader {
-		// Stage 1: hand the whole vector to the leader; stage 3: receive
-		// the assembled result.
-		e.stepOverhead()
-		if err := e.send(leader, e.tag(0, myPos), sliceRange(e, send, 0, n), n); err != nil {
-			return err
-		}
-		e.stepOverhead()
-		return e.recv(leader, e.tag(2*hierStagePhases, myPos), sliceRange(e, recv, 0, n), n)
-	}
-
-	// Stage 1: gather members' full vectors, member order.
-	gbuf := e.alloc(q * n)
-	if e.carry {
-		e.copyb(gbuf[myPos*n:(myPos+1)*n], send[:n])
-	}
-	for t, i := range mem {
-		if i == leader {
-			continue
-		}
-		e.stepOverhead()
-		if err := e.recv(i, e.tag(0, t), sliceRange(e, gbuf, t*n, (t+1)*n), n); err != nil {
-			return err
-		}
-	}
-
-	// Stage 2: leaders exchange aggregated cluster-pair blocks. Block d
-	// holds, sender-member-major, every (my member t → cluster-d member u)
-	// block; both sides derive the same layout from the shared partition.
 	sizes := cl.Sizes()
-	bOffs := make([]int, K+1)
 	equal := true
-	for d := 0; d < K; d++ {
-		bOffs[d+1] = bOffs[d] + q*sizes[d]*blk
-		if sizes[d] != q {
+	for _, s := range sizes {
+		if s != sizes[0] {
 			equal = false
 		}
 	}
-	out := e.alloc(q * n)
-	in := e.alloc(q * n)
-	if e.carry {
-		at := 0
-		for d := 0; d < K; d++ {
-			for t := 0; t < q; t++ {
-				for _, u := range cl.Members(d) {
-					e.copyb(out[at:at+blk], gbuf[t*n+u*blk:t*n+(u+1)*blk])
-					at += blk
-				}
-			}
+	myC := cl.Of(e.me)
+	mem := cl.Members(myC)
+	if equal && len(mem) > 1 && K > 1 && !e.unstriped {
+		// Striped leader phase. Stripe j of the vector is owned by the
+		// member at position j of each block; the q same-position peer
+		// groups are disjoint, so their leader-level all-reduces share
+		// nothing but the uplink — which is exactly the contention the
+		// striping pipelines.
+		q := len(mem)
+		cnts := equalCounts(count, q)
+		offs := make([]int, q+1)
+		for i, c := range cnts {
+			offs[i+1] = offs[i] + c*es
 		}
-	}
-	sub, _ := subEnv(e, cl.Leaders(), hierStagePhases)
-	if s := phaseShape(tl.Global, model.AllToAll, K, q*n); equal && s.ShortFrom == 0 {
-		if err := bruckAllToAll(&sub, 0, out, in, q*q*count, es); err != nil {
+		myPos := indexOf(mem, e.me)
+		se, _ := subEnv(e, mem, hierLevelPhases)
+		if err := rsTree(&se, subTopo(t, myC), ms, lvl+1, offs, buf, tmp, dt, op); err != nil {
 			return err
 		}
-	} else if err := pairwiseAllToAll(&sub, 0, bOffs, bOffs, out, in); err != nil {
+		if cnts[myPos] > 0 {
+			peers := make([]int, K)
+			for k := 0; k < K; k++ {
+				peers[k] = cl.Members(k)[myPos]
+			}
+			pe, _ := subEnv(e, peers, hierStagePhases)
+			// Price the algorithm choice with the full vector, not the
+			// stripe: the q concurrent stripe all-reduces share each
+			// block's uplink, so the phase is bandwidth-bound even when a
+			// single stripe would look latency-bound (this mirrors
+			// Hierarchy.allReduceTree).
+			s := phaseShape(ms.at(lvl), model.AllReduce, K, n)
+			if err := hybridAllReduce(&pe, s,
+				sliceRange(e, buf, offs[myPos], offs[myPos+1]),
+				sliceRange(e, tmp, offs[myPos], offs[myPos+1]),
+				cnts[myPos], es, dt, op); err != nil {
+				return err
+			}
+		}
+		se3, _ := subEnv(e, mem, hierLevelPhases)
+		return collectTree(&se3, subTopo(t, myC), ms, lvl+1, offs, buf)
+	}
+	// Unstriped: combine at block representatives, all-reduce among them,
+	// broadcast back down.
+	if len(mem) > 1 {
+		se, _ := subEnv(e, mem, hierLevelPhases)
+		if err := reduceTree(&se, subTopo(t, myC), ms, lvl+1, 0, buf, tmp, count, es, dt, op); err != nil {
+			return err
+		}
+	}
+	if lsub, ok := subEnv(e, cl.Leaders(), hierStagePhases); ok {
+		s := phaseShape(ms.at(lvl), model.AllReduce, K, n)
+		if err := hybridAllReduce(&lsub, s, buf, tmp, count, es, dt, op); err != nil {
+			return err
+		}
+	}
+	if len(mem) > 1 {
+		se, _ := subEnv(e, mem, hierLevelPhases)
+		return bcastTree(&se, subTopo(t, myC), ms, lvl+1, 0, buf, count, es)
+	}
+	return nil
+}
+
+// hierCollect assembles every node's segment on all nodes: recursive
+// gathers assemble each block's range at its leader, leaders collect the
+// block ranges, and the whole vector broadcasts back down inside each
+// block. Non-contiguous placements pack into canonically ordered pooled
+// scratch, run the contiguous recursion, and unpack.
+func hierCollect(e *env, t group.Topology, ms machs, offs []int, buf []byte) error {
+	ord := t.RecOrder()
+	if isIdentity(ord) {
+		return collectTree(e, &t, ms, 0, offs, buf)
+	}
+	ce, _ := subEnv(e, ord, 0)
+	ct := canonTopology(t, ord)
+	total := offs[len(offs)-1]
+	coffs := make([]int, len(offs))
+	for j, o := range ord {
+		coffs[j+1] = coffs[j] + offs[o+1] - offs[o]
+	}
+	scratch, release := e.detour(total)
+	defer release()
+	if e.carry {
+		j := ce.me
+		e.copyb(scratch[coffs[j]:coffs[j+1]], buf[offs[e.me]:offs[e.me+1]])
+	}
+	if err := collectTree(&ce, &ct, ms, 0, coffs, scratch); err != nil {
 		return err
 	}
-
-	// Stage 3: reassemble each member's result vector and redistribute.
-	// gbuf is dead once out is packed, so it doubles as the reassembly
-	// buffer, keeping the leader's peak scratch at 3·q·n.
 	if e.carry {
-		pos := make([]int, p) // logical node → index within its cluster
-		for d := 0; d < K; d++ {
-			for ui, u := range cl.Members(d) {
-				pos[u] = ui
-			}
-		}
-		for t := 0; t < q; t++ {
-			for j := 0; j < p; j++ {
-				d := cl.Of(j)
-				src := bOffs[d] + (pos[j]*q+t)*blk
-				e.copyb(gbuf[t*n+j*blk:t*n+(j+1)*blk], in[src:src+blk])
-			}
-		}
-		e.copyb(recv[:n], gbuf[myPos*n:(myPos+1)*n])
-	}
-	for t, i := range mem {
-		if i == leader {
-			continue
-		}
-		e.stepOverhead()
-		if err := e.send(i, e.tag(2*hierStagePhases, t), sliceRange(e, gbuf, t*n, (t+1)*n), n); err != nil {
-			return err
+		for j, o := range ord {
+			e.copyb(buf[offs[o]:offs[o+1]], scratch[coffs[j]:coffs[j+1]])
 		}
 	}
 	return nil
 }
 
-// directGather assembles each member's segment at the leader with direct
-// point-to-point messages — the fallback when a cluster's segments are not
-// index-contiguous, so the range-based MST primitives cannot address them.
-func directGather(e *env, mem []int, leader int, offs []int, buf []byte, phase uint32) error {
-	if e.me == leader {
-		for t, i := range mem {
-			if i == leader {
-				continue
-			}
-			n := offs[i+1] - offs[i]
-			e.stepOverhead()
-			if err := e.recv(i, e.tag(phase, t), sliceRange(e, buf, offs[i], offs[i+1]), n); err != nil {
-				return err
-			}
-		}
-		return nil
+// collectTree assumes canonical (recursively contiguous) positions and
+// offs[0] == 0: offs[j] is member j's absolute byte offset into buf.
+func collectTree(e *env, t *group.Topology, ms machs, lvl int, offs []int, buf []byte) error {
+	total := offs[len(offs)-1]
+	if t == nil {
+		s := phaseShape(ms.at(lvl), model.Collect, e.p(), total)
+		return hybridCollect(e, s, offs, buf)
 	}
-	t := indexOf(mem, e.me)
-	n := offs[e.me+1] - offs[e.me]
-	e.stepOverhead()
-	return e.send(leader, e.tag(phase, t), sliceRange(e, buf, offs[e.me], offs[e.me+1]), n)
+	cl := t.Top()
+	myC := cl.Of(e.me)
+	mem := cl.Members(myC)
+	if len(mem) > 1 {
+		se, _ := subEnv(e, mem, hierLevelPhases)
+		if err := gatherRec(&se, subTopo(t, myC), contigOffs(offs, mem), buf); err != nil {
+			return err
+		}
+	}
+	if e.me == mem[0] && cl.K() > 1 {
+		lsub, _ := subEnv(e, cl.Leaders(), hierStagePhases)
+		s := phaseShape(ms.at(lvl), model.Collect, cl.K(), total)
+		if err := hybridCollect(&lsub, s, clusterOffs(cl, offs), buf); err != nil {
+			return err
+		}
+	}
+	if len(mem) > 1 {
+		se, _ := subEnv(e, mem, hierLevelPhases)
+		return bcastTree(&se, subTopo(t, myC), ms, lvl+1, 0, buf, total, 1)
+	}
+	return nil
 }
 
-// directScatter is directGather in reverse: the leader sends each member
-// its own segment.
-func directScatter(e *env, mem []int, leader int, offs []int, buf []byte, phase uint32) error {
-	if e.me == leader {
-		for t, i := range mem {
-			if i == leader {
-				continue
-			}
-			n := offs[i+1] - offs[i]
-			e.stepOverhead()
-			if err := e.send(i, e.tag(phase, t), sliceRange(e, buf, offs[i], offs[i+1]), n); err != nil {
-				return err
-			}
-		}
-		return nil
+// hierReduceScatter combines every node's full contribution and leaves
+// segment i on node i: recursive combines ascend to block leaders,
+// leaders run the distributed combine over block ranges, and recursive
+// scatters descend member segments. Non-contiguous placements go through
+// the same pack detour as collect.
+func hierReduceScatter(e *env, t group.Topology, ms machs, offs []int, buf, tmp []byte, dt datatype.Type, op datatype.Op) error {
+	ord := t.RecOrder()
+	if isIdentity(ord) {
+		return rsTree(e, &t, ms, 0, offs, buf, tmp, dt, op)
 	}
-	t := indexOf(mem, e.me)
-	n := offs[e.me+1] - offs[e.me]
-	e.stepOverhead()
-	return e.recv(leader, e.tag(phase, t), sliceRange(e, buf, offs[e.me], offs[e.me+1]), n)
+	ce, _ := subEnv(e, ord, 0)
+	ct := canonTopology(t, ord)
+	total := offs[len(offs)-1]
+	coffs := make([]int, len(offs))
+	for j, o := range ord {
+		coffs[j+1] = coffs[j] + offs[o+1] - offs[o]
+	}
+	scratch, release := e.detour(total)
+	defer release()
+	if e.carry {
+		for j, o := range ord {
+			e.copyb(scratch[coffs[j]:coffs[j+1]], buf[offs[o]:offs[o+1]])
+		}
+	}
+	if err := rsTree(&ce, &ct, ms, 0, coffs, scratch, tmp, dt, op); err != nil {
+		return err
+	}
+	if e.carry {
+		j := ce.me
+		e.copyb(buf[offs[e.me]:offs[e.me+1]], scratch[coffs[j]:coffs[j+1]])
+	}
+	return nil
+}
+
+// rsTree assumes canonical positions and offs[0] == 0.
+func rsTree(e *env, t *group.Topology, ms machs, lvl int, offs []int, buf, tmp []byte, dt datatype.Type, op datatype.Op) error {
+	total := offs[len(offs)-1]
+	es := dt.Size()
+	if t == nil {
+		s := phaseShape(ms.at(lvl), model.ReduceScatter, e.p(), total)
+		return hybridReduceScatter(e, s, offs, buf, tmp, dt, op)
+	}
+	cl := t.Top()
+	myC := cl.Of(e.me)
+	mem := cl.Members(myC)
+	if len(mem) > 1 {
+		se, _ := subEnv(e, mem, hierLevelPhases)
+		if err := reduceTree(&se, subTopo(t, myC), ms, lvl+1, 0, buf, tmp, total/es, es, dt, op); err != nil {
+			return err
+		}
+	}
+	if e.me == mem[0] && cl.K() > 1 {
+		lsub, _ := subEnv(e, cl.Leaders(), hierStagePhases)
+		s := phaseShape(ms.at(lvl), model.ReduceScatter, cl.K(), total)
+		if err := hybridReduceScatter(&lsub, s, clusterOffs(cl, offs), buf, tmp, dt, op); err != nil {
+			return err
+		}
+	}
+	if len(mem) > 1 {
+		se, _ := subEnv(e, mem, hierLevelPhases)
+		return scatterRec(&se, subTopo(t, myC), contigOffs(offs, mem), buf)
+	}
+	return nil
+}
+
+// gatherRec assembles the group's byte range at its first member: gathers
+// recurse inside sub-blocks, then an MST gather runs among sub-leaders.
+// Gather has no short/long choice, so no machine parameters are needed.
+func gatherRec(e *env, t *group.Topology, offs []int, buf []byte) error {
+	if t == nil {
+		return mstGather(e, 0, 0, offs, buf, 0)
+	}
+	cl := t.Top()
+	myC := cl.Of(e.me)
+	mem := cl.Members(myC)
+	if len(mem) > 1 {
+		se, _ := subEnv(e, mem, hierLevelPhases)
+		if err := gatherRec(&se, subTopo(t, myC), contigOffs(offs, mem), buf); err != nil {
+			return err
+		}
+	}
+	if e.me == mem[0] && cl.K() > 1 {
+		lsub, _ := subEnv(e, cl.Leaders(), 0)
+		return mstGather(&lsub, 0, 0, clusterOffs(cl, offs), buf, 0)
+	}
+	return nil
+}
+
+// scatterRec is gatherRec in reverse: sub-leaders receive their block
+// ranges first, then the scatter recurses inside each block.
+func scatterRec(e *env, t *group.Topology, offs []int, buf []byte) error {
+	if t == nil {
+		return mstScatter(e, 0, 0, offs, buf, 0)
+	}
+	cl := t.Top()
+	myC := cl.Of(e.me)
+	mem := cl.Members(myC)
+	if e.me == mem[0] && cl.K() > 1 {
+		lsub, _ := subEnv(e, cl.Leaders(), 0)
+		if err := mstScatter(&lsub, 0, 0, clusterOffs(cl, offs), buf, 0); err != nil {
+			return err
+		}
+	}
+	if len(mem) > 1 {
+		se, _ := subEnv(e, mem, hierLevelPhases)
+		return scatterRec(&se, subTopo(t, myC), contigOffs(offs, mem), buf)
+	}
+	return nil
 }

@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// rackNet is the acceptance machine: 256 ranks as 4 racks × 8 nodes × 8
+// sockets, inter-rack ten times worse than inter-node, which is ten times
+// worse than intra-node, ranks dealt round-robin across the deepest
+// blocks (the placement structure-blind flat planning cannot see).
+func rackNet(place Placement) TreeNet {
+	return TreeNet{
+		P:        256,
+		Sizes:    []int{64, 8},
+		Machines: model.RackLike().Machines,
+		Place:    place,
+	}
+}
+
+// TestTreeBeatsTwoLevelAtScale pins the headline property of the N-level
+// generalization: on a 256-rank rack/node/socket machine the full 3-level
+// composition of all-reduce and collect beats the two-level composition
+// over the coarsest partition alone, which in turn beats the best flat
+// auto hybrid.
+func TestTreeBeatsTwoLevelAtScale(t *testing.T) {
+	tn := rackNet(RoundRobin)
+	for _, coll := range []model.Collective{model.AllReduce, model.Collect} {
+		for _, n := range []int{65536, 1 << 20} {
+			t.Run(fmt.Sprintf("%v/n%d", coll, n), func(t *testing.T) {
+				if testing.Short() && n > 65536 {
+					t.Skip("short mode")
+				}
+				flat, h2, h3, err := TreePoint(tn, coll, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if h3 >= h2 {
+					t.Fatalf("3-level %.6fs not better than 2-level %.6fs (flat %.6fs)", h3, h2, flat)
+				}
+				if h2 >= flat {
+					t.Fatalf("2-level %.6fs not better than flat auto %.6fs", h2, flat)
+				}
+			})
+		}
+	}
+}
+
+// TestStripedLeaderPhaseWins pins the striped satellite: under
+// round-robin placement the reduce-scatter-based leader phase of the
+// hierarchical all-reduce, which keeps every block's whole uplink busy,
+// beats the unstriped reduce/broadcast fallback at bandwidth-relevant
+// lengths.
+func TestStripedLeaderPhaseWins(t *testing.T) {
+	tn := rackNet(RoundRobin)
+	for _, n := range []int{65536, 1 << 20} {
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			if testing.Short() && n > 65536 {
+				t.Skip("short mode")
+			}
+			striped, unstriped, err := StripedPoint(tn, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if striped >= unstriped {
+				t.Fatalf("striped %.6fs not better than unstriped %.6fs", striped, unstriped)
+			}
+		})
+	}
+}
+
+// TestTreeSweepRuns smoke-tests the depth table for every hierarchical
+// collective at a small 3-level scale, both placements.
+func TestTreeSweepRuns(t *testing.T) {
+	for _, place := range []Placement{Blocks, RoundRobin} {
+		tn := TreeNet{P: 32, Sizes: []int{16, 4}, Machines: model.RackLike().Machines, Place: place}
+		for _, coll := range []model.Collective{model.Bcast, model.Reduce, model.AllReduce, model.Collect, model.ReduceScatter, model.AllToAll} {
+			tab, err := TreeSweep(tn, coll, []int{8, 4096, 65536})
+			if err != nil {
+				t.Fatalf("%v %s: %v", coll, place, err)
+			}
+			if len(tab.Rows) != 3 {
+				t.Fatalf("%v %s: %d rows", coll, place, len(tab.Rows))
+			}
+		}
+	}
+}

@@ -88,75 +88,20 @@ func (m Machine) bestAllToAll(p int, n float64) float64 {
 }
 
 // HierCost prices collective c with an n-byte vector under the two-level
-// composition, for a partition with the given cluster sizes. Intra-cluster
-// phases are charged on the Local machine for the largest cluster (phases
-// run concurrently across clusters; the largest finishes last); the
-// leader-level phase is charged on the Global machine over one
-// representative per cluster. contiguous states whether every cluster is
-// a run of consecutive ranks: non-contiguous partitions make the executor
-// fall back to linear direct gather/scatter for the edge phases of collect
-// and reduce-scatter ((q-1)α instead of ⌈log₂q⌉α), and the cost must
-// reflect that or the hierarchy gets selected where flat is cheaper.
+// composition, for a partition with the given cluster sizes. It is the
+// depth-1 view of the recursive Hierarchy cost: intra-cluster phases on
+// the Local machine (the largest cluster finishes last), the leader-level
+// phase on the Global machine over one representative per cluster. The
+// contiguous flag is retained for compatibility; the executor's
+// canonicalizing pack detour made non-contiguous placements cost the same
+// communication as contiguous ones, so it no longer changes the price.
 // Collectives the executor does not run hierarchically (scatter, gather)
 // cost +Inf so selection never picks them.
 func (t TwoLevel) HierCost(c Collective, sizes []int, contiguous bool, n float64) float64 {
-	k := len(sizes)
-	if k == 0 {
+	_ = contiguous
+	topo, ok := topologyOfSizes(sizes)
+	if !ok {
 		return math.Inf(1)
 	}
-	q := 0
-	for _, s := range sizes {
-		if s > q {
-			q = s
-		}
-	}
-	// Byte length of the largest cluster's block of an externally
-	// partitioned vector, under a near-equal partition.
-	p := 0
-	for _, s := range sizes {
-		p += s
-	}
-	nBlock := n * float64(q) / float64(p)
-	// Edge phases of the partitioned collectives: MST in place when the
-	// partition is contiguous, linear point-to-point otherwise.
-	gather := t.Local.MSTGather(q, nBlock, 1)
-	scatter := t.Local.MSTScatter(q, nBlock, 1)
-	if !contiguous {
-		linear := float64(q-1)*(t.Local.Alpha+t.Local.StepOverhead) + nBlock*t.Local.Beta
-		gather, scatter = linear, linear
-	}
-	switch c {
-	case Bcast:
-		return t.Global.bestBcast(k, n) + t.Local.bestBcast(q, n)
-	case Reduce:
-		return t.Local.bestReduce(q, n) + t.Global.bestReduce(k, n)
-	case AllReduce:
-		return t.Local.bestReduce(q, n) + t.Global.bestAllReduce(k, n) + t.Local.bestBcast(q, n)
-	case Collect:
-		return gather + t.Global.bestCollect(k, n) + t.Local.bestBcast(q, n)
-	case ReduceScatter:
-		return t.Local.bestReduce(q, n) + t.Global.bestReduceScatter(k, n) + scatter
-	case AllToAll:
-		// Members ship their whole n-byte personalized vectors to the
-		// leader ((q-1) point-to-point messages each way), leaders exchange
-		// q·n-byte aggregates over the global network, leaders redistribute
-		// the assembled results. Uneven cluster sizes force the pairwise
-		// schedule at the leader level (the Bruck relay needs equal
-		// blocks); the executor makes the same choice.
-		equal := true
-		for _, s := range sizes {
-			if s != q {
-				equal = false
-			}
-		}
-		edge := float64(q-1)*(t.Local.Alpha+t.Local.StepOverhead) + float64(q-1)*n*t.Local.Beta
-		qn := float64(q) * n
-		global := t.Global.LongAllToAll(k, qn, 1)
-		if equal {
-			global = t.Global.bestAllToAll(k, qn)
-		}
-		return 2*edge + global
-	default:
-		return math.Inf(1)
-	}
+	return t.Hierarchy().Cost(c, topo, n)
 }

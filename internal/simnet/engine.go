@@ -108,6 +108,9 @@ func newEngine(cfg Config) *engine {
 	if cfg.ClusterSize > 0 {
 		topo = newClusteredTopology(topo, cfg.clusterAssign())
 	}
+	if len(cfg.Levels) > 0 {
+		topo = newTreeTopology(cfg.Rows*cfg.Cols, cfg.levelAssigns())
+	}
 	e := &engine{
 		cfg:   cfg,
 		topo:  topo,
@@ -178,6 +181,12 @@ func (e *engine) makeFlow(key pairKey, s, r *op) {
 	alpha, beta := e.cfg.Machine.Alpha, e.cfg.Machine.Beta
 	if ct, ok := e.topo.(clusteredTopology); ok && ct.of[key.src] != ct.of[key.dst] {
 		alpha, beta = e.cfg.Inter.Alpha, e.cfg.Inter.Beta
+	}
+	if tt, ok := e.topo.(treeTopology); ok {
+		// Price the flow at the coarsest network level it crosses.
+		if l := tt.divergeLevel(key.src, key.dst); l >= 0 {
+			alpha, beta = e.cfg.Levels[l].Alpha, e.cfg.Levels[l].Beta
+		}
 	}
 	f := &flow{
 		id: e.nextFlow, src: key.src, dst: key.dst,

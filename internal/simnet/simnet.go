@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"runtime/debug"
 
+	"repro/internal/group"
 	"repro/internal/model"
 	"repro/internal/transport"
 )
@@ -72,6 +73,33 @@ type Config struct {
 	// node-major convention. Requires ClusterSize > 0 to enable the
 	// two-level overlay.
 	ClusterOf []int
+	// Levels, when non-empty, replaces the interconnect with an N-level
+	// switched tree — the clustered mode generalized to nested blocks
+	// (racks containing nodes containing sockets), coarsest level first.
+	// A message whose endpoints first diverge at level l pays Levels[l]'s
+	// α and β and occupies the source-side uplink and destination-side
+	// downlink of every block boundary it crosses (each block at each
+	// level owns one shared uplink and one downlink, so deep traffic
+	// contends on every level it traverses); messages within one deepest
+	// block pay Machine's parameters and contend only at the per-rank
+	// injection/ejection channels. Mutually exclusive with ClusterSize
+	// and Hypercube.
+	Levels []Level
+}
+
+// Level describes one tree level of a hierarchical Config, coarsest
+// first.
+type Level struct {
+	// Size partitions ranks into consecutive blocks of Size (the last may
+	// be smaller); each finer level's Size must divide the coarser one.
+	// Of, when non-nil, overrides it with an explicit rank→block map (one
+	// entry per rank, arbitrary labels, blocks nesting inside the coarser
+	// level) — modelling placements that do not follow block-major order.
+	Size int
+	Of   []int
+	// Alpha and Beta price messages whose endpoints first diverge at this
+	// level.
+	Alpha, Beta float64
 }
 
 // clusterAssign returns the rank→cluster map of a clustered config.
@@ -85,6 +113,25 @@ func (c Config) clusterAssign() []int {
 		of[i] = i / c.ClusterSize
 	}
 	return of
+}
+
+// levelAssigns returns the per-level rank→block assignments of a tree
+// config, coarsest first.
+func (c Config) levelAssigns() [][]int {
+	n := c.Rows * c.Cols
+	out := make([][]int, len(c.Levels))
+	for l, lv := range c.Levels {
+		if lv.Of != nil {
+			out[l] = lv.Of
+			continue
+		}
+		of := make([]int, n)
+		for i := range of {
+			of[i] = i / lv.Size
+		}
+		out[l] = of
+	}
+	return out
 }
 
 // Validate checks the configuration.
@@ -115,20 +162,70 @@ func (c Config) Validate() error {
 	} else if c.ClusterOf != nil {
 		return fmt.Errorf("simnet: ClusterOf requires ClusterSize > 0")
 	}
+	if len(c.Levels) > 0 {
+		if c.ClusterSize > 0 || c.Hypercube {
+			return fmt.Errorf("simnet: Levels is mutually exclusive with ClusterSize and Hypercube")
+		}
+		n := c.Rows * c.Cols
+		for l, lv := range c.Levels {
+			if lv.Alpha < 0 || lv.Beta <= 0 {
+				return fmt.Errorf("simnet: tree level %d needs α ≥ 0 and β > 0, got α=%g β=%g", l, lv.Alpha, lv.Beta)
+			}
+			if lv.Of != nil {
+				if len(lv.Of) != n {
+					return fmt.Errorf("simnet: tree level %d covers %d ranks, machine has %d", l, len(lv.Of), n)
+				}
+			} else if lv.Size < 1 {
+				return fmt.Errorf("simnet: tree level %d block size %d", l, lv.Size)
+			}
+		}
+		// NewTopology checks that every level nests inside the one above.
+		if _, err := group.NewTopology(c.levelAssigns()...); err != nil {
+			return err
+		}
+	}
 	return c.Machine.Validate()
 }
 
 // TwoLevel returns the machine parameters of a clustered configuration as
 // a two-level model: Local is Machine, Global is Machine with the
-// inter-cluster α and β substituted. For unclustered configurations both
-// levels are Machine.
+// inter-cluster α and β substituted. A tree configuration's Global level
+// is its coarsest; for unclustered configurations both levels are
+// Machine.
 func (c Config) TwoLevel() model.TwoLevel {
 	tl := model.TwoLevel{Local: c.Machine, Global: c.Machine}
 	if c.ClusterSize > 0 {
 		tl.Global.Alpha = c.Inter.Alpha
 		tl.Global.Beta = c.Inter.Beta
 	}
+	if len(c.Levels) > 0 {
+		tl.Global.Alpha = c.Levels[0].Alpha
+		tl.Global.Beta = c.Levels[0].Beta
+	}
 	return tl
+}
+
+// Hierarchy returns the per-level machine parameters of the configured
+// interconnect, coarsest first: each tree level's α and β substituted
+// into the base machine, with the base machine itself pricing the
+// deepest blocks. Clustered configurations yield their two-level pair and
+// flat ones a single level, so the collective layer can always plan with
+// the same parameters the network charges.
+func (c Config) Hierarchy() model.Hierarchy {
+	if len(c.Levels) > 0 {
+		machines := make([]model.Machine, len(c.Levels)+1)
+		for l, lv := range c.Levels {
+			m := c.Machine
+			m.Alpha, m.Beta = lv.Alpha, lv.Beta
+			machines[l] = m
+		}
+		machines[len(c.Levels)] = c.Machine
+		return model.Hierarchy{Machines: machines}
+	}
+	if c.ClusterSize > 0 {
+		return c.TwoLevel().Hierarchy()
+	}
+	return model.UniformHierarchy(c.Machine)
 }
 
 // Result reports aggregate statistics of a simulation run.
@@ -220,6 +317,10 @@ func (ep *Endpoint) Machine() model.Machine { return ep.e.cfg.Machine }
 // letting the collective layer plan hierarchies with the same parameters
 // the network charges.
 func (ep *Endpoint) TwoLevel() model.TwoLevel { return ep.e.cfg.TwoLevel() }
+
+// Hierarchy returns the configured per-level machine parameters
+// (Config.Hierarchy), coarsest first.
+func (ep *Endpoint) Hierarchy() model.Hierarchy { return ep.e.cfg.Hierarchy() }
 
 // CarriesData reports whether payload bytes are transported (Config.CarryData).
 func (ep *Endpoint) CarriesData() bool { return ep.e.cfg.CarryData }

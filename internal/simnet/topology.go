@@ -146,3 +146,74 @@ func (c clusteredTopology) path(src, dst int) []int {
 	}
 	return []int{src, c.base.nodes() + dst}
 }
+
+// treeTopology generalizes clusteredTopology to an N-level switched tree:
+// nested blocks (racks containing nodes containing sockets), coarsest
+// level first, each block at each level owning one shared uplink and one
+// shared downlink. A message between ranks whose paths first diverge at
+// level l climbs out through the source's uplink at every level deeper
+// than or equal to l and descends through the destination's downlinks —
+// so inter-rack traffic contends for the rack NIC and for the node NIC,
+// while sibling-node traffic contends only for the node NICs, the
+// contention structure that rewards composing collectives level by level.
+// Messages within one deepest block occupy only the per-rank injection
+// and ejection channels (the switch cores are non-blocking, and rank ids
+// carry no positional meaning).
+type treeTopology struct {
+	n      int
+	of     [][]int // of[l][rank] = block id at level l, coarsest first
+	k      []int   // blocks per level
+	offset []int   // offset[l]: first link id of level l's uplinks
+	links  int
+}
+
+func newTreeTopology(n int, of [][]int) treeTopology {
+	t := treeTopology{n: n, of: of}
+	t.k = make([]int, len(of))
+	t.offset = make([]int, len(of))
+	at := 2 * n // per-rank injection and ejection channels come first
+	for l, lv := range of {
+		k := 0
+		for _, b := range lv {
+			if b+1 > k {
+				k = b + 1
+			}
+		}
+		t.k[l] = k
+		t.offset[l] = at
+		at += 2 * k
+	}
+	t.links = at
+	return t
+}
+
+func (t treeTopology) nodes() int            { return t.n }
+func (t treeTopology) numLinks() int         { return t.links }
+func (t treeTopology) isMeshLink(int) bool   { return false }
+func (t treeTopology) uplink(l, b int) int   { return t.offset[l] + b }
+func (t treeTopology) downlink(l, b int) int { return t.offset[l] + t.k[l] + b }
+
+// divergeLevel returns the coarsest level at which src and dst lie in
+// different blocks, or -1 when they share even the deepest block. By
+// nesting, differing at level l implies differing at every deeper level.
+func (t treeTopology) divergeLevel(src, dst int) int {
+	for l, lv := range t.of {
+		if lv[src] != lv[dst] {
+			return l
+		}
+	}
+	return -1
+}
+
+func (t treeTopology) path(src, dst int) []int {
+	l := t.divergeLevel(src, dst)
+	if l < 0 {
+		return []int{src, t.n + dst}
+	}
+	p := make([]int, 0, 2+2*(len(t.of)-l))
+	p = append(p, src, t.n+dst)
+	for m := l; m < len(t.of); m++ {
+		p = append(p, t.uplink(m, t.of[m][src]), t.downlink(m, t.of[m][dst]))
+	}
+	return p
+}

@@ -103,6 +103,43 @@ func SimulateClusters(nClusters, perCluster int, local, global Machine, carryDat
 	return SimResult{Seconds: res.Time, Messages: res.Messages}, nil
 }
 
+// SimulateHierarchy runs fn once per rank of a simulated N-level machine:
+// p ranks in nested consecutive blocks of the given sizes, coarsest first
+// (e.g. sizes 64, 8 is racks of 64 ranks containing nodes of 8). machines
+// holds len(sizes)+1 machine parameter sets, coarsest first: machines[l]
+// prices messages that first cross a level-l block boundary, and the last
+// entry prices messages within one deepest block. Each block at each
+// level owns a single shared uplink and downlink, so traffic crossing a
+// boundary contends there — the structure that rewards composing
+// collectives level by level. The communicator passed to fn sees the
+// group as a linear array and carries the per-level machine parameters,
+// but no partition: call c.WithTopologyBySizes(sizes...) inside fn to let
+// the automatic policy choose the recursive hierarchy, or force it with
+// WithAlg(AlgHier).
+func SimulateHierarchy(p int, sizes []int, machines []Machine, carryData bool, fn func(c *Comm) error, opts ...Option) (SimResult, error) {
+	if len(machines) != len(sizes)+1 {
+		return SimResult{}, fmt.Errorf("icc: %d tree levels need %d machines, got %d", len(sizes), len(sizes)+1, len(machines))
+	}
+	levels := make([]simnet.Level, len(sizes))
+	for l, sz := range sizes {
+		levels[l] = simnet.Level{Size: sz, Alpha: machines[l].Alpha, Beta: machines[l].Beta}
+	}
+	res, err := simnet.Run(simnet.Config{
+		Rows: 1, Cols: p, Machine: machines[len(sizes)],
+		Levels: levels, CarryData: carryData,
+	}, func(ep *simnet.Endpoint) error {
+		c, nerr := New(ep, opts...)
+		if nerr != nil {
+			return nerr
+		}
+		return fn(c)
+	})
+	if err != nil {
+		return SimResult{}, err
+	}
+	return SimResult{Seconds: res.Time, Messages: res.Messages}, nil
+}
+
 // ParagonMachine returns machine parameters similar to those of the Intel
 // Paragon (§7.2), the default for simulations.
 func ParagonMachine() Machine { return model.ParagonLike() }
