@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet fmtcheck test race bench benchall sweep hiersweep
+.PHONY: verify build vet fmtcheck test race chaos bench benchall sweep hiersweep
 
-verify: build vet fmtcheck test race
+verify: build vet fmtcheck test race chaos
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,14 @@ test:
 
 race:
 	$(GO) test -race -short ./...
+
+# chaos runs the fault-injection suites — seeded faultnet schedules,
+# fail-stop propagation across all transports and completion modes, and
+# the TCP healing path — under the race detector.
+chaos:
+	$(GO) test -race -short -count=1 \
+		-run 'TestChaos|TestFailStop|TestAbortPoisons|TestSendFailure|TestZeroBudget|TestDisarmed|TestReconnect|TestCollectiveThroughReconnect|TestDeadPeer|TestBrokenThenClosed' \
+		. ./internal/core ./internal/faultnet ./internal/tcptransport
 
 # bench runs the plan-amortization benchmarks (persistent versus one-shot
 # all-reduce, plan-cache lookup), the hierarchical detour-pool allocs/op

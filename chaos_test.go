@@ -1,0 +1,284 @@
+// Chaos suite: a deterministic mixed-collective script runs under seeded
+// fault schedules — fail-stop, exhausted send budgets, random drops — on
+// all three transports. The contract under chaos is weaker than under
+// health but absolute: a clean warm-up validates end-to-end, every rank
+// eventually returns an error once a fault fires (the abort poisons the
+// world), every validated step is correct (faults fail loudly, never
+// corrupt silently), the whole world unblocks in bounded time, and no
+// goroutine outlives its world.
+package icc_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	icc "repro"
+	"repro/internal/chantransport"
+	"repro/internal/datatype"
+	"repro/internal/faultnet"
+	"repro/internal/model"
+	"repro/internal/simnet"
+	"repro/internal/tcptransport"
+)
+
+const (
+	chaosP       = 6
+	chaosSteps   = 24
+	chaosWarm    = 6 // steps run and validated before the schedule arms
+	chaosTimeout = 30 * time.Second
+	chaosBound   = 20 * time.Second
+)
+
+// chaosStep is one scripted collective; the script is generated once from
+// a fixed seed so every rank agrees on it.
+type chaosStep struct {
+	op    int // 0 bcast, 1 allreduce, 2 collect, 3 reduce-scatter
+	count int
+	root  int
+	seed  int64
+}
+
+func chaosScript() []chaosStep {
+	r := rand.New(rand.NewSource(20260808))
+	script := make([]chaosStep, chaosSteps)
+	for i := range script {
+		script[i] = chaosStep{op: r.Intn(4), count: 1 + r.Intn(40), root: r.Intn(chaosP), seed: r.Int63()}
+	}
+	return script
+}
+
+// errCorrupt marks a validation failure: a collective that reported
+// success but delivered wrong data. Chaos may abort any step, but it must
+// never produce one of these.
+var errCorrupt = errors.New("chaos: corrupted result")
+
+// runChaosScript drives the script on one rank, arming inj when the
+// warm-up ends, until the first error. It returns how many steps
+// completed and that error (nil if the whole script survived).
+func runChaosScript(c *icc.Comm, inj *faultnet.Injector, script []chaosStep) (int, error) {
+	g := c.Size()
+	me := c.Rank()
+	for si, st := range script {
+		if si == chaosWarm {
+			inj.SetArmed(true)
+		}
+		count := st.count
+		root := st.root % g
+		input := func(member, i int) int64 { return int64(member*1009+i*31) ^ st.seed%1000 }
+		mine := make([]int64, count)
+		sum := make([]int64, count)
+		for i := range mine {
+			mine[i] = input(me, i)
+			for m := 0; m < g; m++ {
+				sum[i] += input(m, i)
+			}
+		}
+		switch st.op {
+		case 0:
+			buf := make([]byte, count*8)
+			if me == root {
+				datatype.PutInt64s(buf, mine)
+			}
+			if err := c.Bcast(buf, count, icc.Int64, root); err != nil {
+				return si, err
+			}
+			for i, v := range datatype.Int64s(buf) {
+				if v != input(root, i) {
+					return si, fmt.Errorf("%w: step %d bcast elem %d", errCorrupt, si, i)
+				}
+			}
+		case 1:
+			send := make([]byte, count*8)
+			recv := make([]byte, count*8)
+			datatype.PutInt64s(send, mine)
+			if err := c.AllReduce(send, recv, count, icc.Int64, icc.Sum); err != nil {
+				return si, err
+			}
+			for i, v := range datatype.Int64s(recv) {
+				if v != sum[i] {
+					return si, fmt.Errorf("%w: step %d allreduce elem %d", errCorrupt, si, i)
+				}
+			}
+		case 2:
+			send := make([]byte, count*8)
+			recv := make([]byte, count*8*g)
+			datatype.PutInt64s(send, mine)
+			if err := c.Collect(send, recv, count, icc.Int64); err != nil {
+				return si, err
+			}
+			got := datatype.Int64s(recv)
+			for m := 0; m < g; m++ {
+				for i := 0; i < count; i++ {
+					if got[m*count+i] != input(m, i) {
+						return si, fmt.Errorf("%w: step %d collect seg %d", errCorrupt, si, m)
+					}
+				}
+			}
+		case 3:
+			counts := make([]int, g)
+			total := 0
+			for i := range counts {
+				counts[i] = (int(st.seed>>uint(i%8)) & 7)
+				total += counts[i]
+			}
+			send := make([]byte, total*8)
+			vec := make([]int64, total)
+			for i := range vec {
+				vec[i] = input(me, i)
+			}
+			datatype.PutInt64s(send, vec)
+			recv := make([]byte, counts[me]*8)
+			if err := c.ReduceScatter(send, counts, recv, icc.Int64, icc.Sum); err != nil {
+				return si, err
+			}
+			off := 0
+			for m := 0; m < me; m++ {
+				off += counts[m]
+			}
+			for i, v := range datatype.Int64s(recv) {
+				var want int64
+				for m := 0; m < g; m++ {
+					want += input(m, off+i)
+				}
+				if v != want {
+					return si, fmt.Errorf("%w: step %d reduce-scatter elem %d", errCorrupt, si, i)
+				}
+			}
+		}
+	}
+	return len(script), nil
+}
+
+// chaosSchedule is one named fault configuration. expectAll reports
+// whether the schedule guarantees a fault fires (so every rank must
+// error).
+type chaosSchedule struct {
+	name string
+	cfg  faultnet.Config
+}
+
+func chaosSchedules() []chaosSchedule {
+	return []chaosSchedule{
+		{"failstop", faultnet.Config{Seed: 1, FailStop: map[int]int{3: 5}}},
+		{"budget", faultnet.Config{Seed: 2, SendBudget: faultnet.Limit(20)}},
+		{"drops", faultnet.Config{Seed: 3, DropRate: 0.5}},
+	}
+}
+
+// judgeChaos asserts the chaos contract on one run's per-rank outcomes.
+func judgeChaos(t *testing.T, inj *faultnet.Injector, steps []int, errs []error) {
+	t.Helper()
+	if inj.Injected() == 0 {
+		t.Fatal("schedule armed but no fault fired")
+	}
+	for r := 0; r < chaosP; r++ {
+		if errs[r] == nil {
+			t.Errorf("rank %d survived the whole script (%d steps) despite injected faults", r, steps[r])
+			continue
+		}
+		if errors.Is(errs[r], errCorrupt) {
+			t.Errorf("rank %d: silent corruption at step %d: %v", r, steps[r], errs[r])
+			continue
+		}
+		// Arming is not a barrier: the first rank to finish warm-up arms
+		// the schedule while slower ranks may still be inside the last
+		// warm-up step, so a failure at step chaosWarm-1 is legitimate.
+		// Earlier steps ran strictly disarmed and must have been clean.
+		if steps[r] < chaosWarm-1 {
+			t.Errorf("rank %d failed at warm-up step %d, before the schedule armed: %v", r, steps[r], errs[r])
+		}
+		ok := errors.Is(errs[r], faultnet.ErrInjected) ||
+			errors.Is(errs[r], icc.ErrPeerFailed) ||
+			errors.Is(errs[r], icc.ErrAborted) ||
+			errors.Is(errs[r], icc.ErrTimeout)
+		if !ok {
+			t.Errorf("rank %d error is not part of the failure taxonomy: %v", r, errs[r])
+		}
+	}
+}
+
+// TestChaosMixedCollectives: the fault-schedule × transport chaos matrix.
+func TestChaosMixedCollectives(t *testing.T) {
+	script := chaosScript()
+	before := runtime.NumGoroutine()
+	for _, sched := range chaosSchedules() {
+		for _, tr := range []string{"chan", "tcp", "simnet"} {
+			sched, tr := sched, tr
+			t.Run(fmt.Sprintf("%s/%s", sched.name, tr), func(t *testing.T) {
+				inj := faultnet.New(sched.cfg)
+				inj.SetArmed(false) // runChaosScript arms after warm-up
+				steps := make([]int, chaosP)
+				errs := make([]error, chaosP)
+				body := func(c *icc.Comm) error {
+					steps[c.Rank()], errs[c.Rank()] = runChaosScript(c, inj, script)
+					return nil
+				}
+				start := time.Now()
+				switch tr {
+				case "chan":
+					w, err := chantransport.NewWorld(chaosP, chantransport.WithRecvTimeout(chaosTimeout))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := w.Run(func(ep *chantransport.Endpoint) error {
+						c, nerr := icc.New(inj.Wrap(ep))
+						if nerr != nil {
+							return nerr
+						}
+						return body(c)
+					}); err != nil {
+						t.Fatal(err)
+					}
+				case "tcp":
+					eps, err := tcptransport.NewLocalWorld(chaosP, tcptransport.WithRecvTimeout(chaosTimeout))
+					if err != nil {
+						t.Fatal(err)
+					}
+					var wg sync.WaitGroup
+					for r := 0; r < chaosP; r++ {
+						wg.Add(1)
+						go func(r int) {
+							defer wg.Done()
+							defer eps[r].Close()
+							c, nerr := icc.New(inj.Wrap(eps[r]))
+							if nerr != nil {
+								errs[r] = nerr
+								return
+							}
+							_ = body(c)
+						}(r)
+					}
+					wg.Wait()
+				case "simnet":
+					if _, err := simnet.Run(simnet.Config{
+						Rows: 1, Cols: chaosP, Machine: model.ParagonLike(), CarryData: true,
+					}, func(ep *simnet.Endpoint) error {
+						c, nerr := icc.New(inj.Wrap(ep))
+						if nerr != nil {
+							return nerr
+						}
+						return body(c)
+					}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if elapsed := time.Since(start); elapsed > chaosBound {
+					t.Fatalf("chaos run took %v; failures must unblock the world well before the %v receive timeout", elapsed, chaosTimeout)
+				}
+				judgeChaos(t, inj, steps, errs)
+			})
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

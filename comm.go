@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datatype"
@@ -107,6 +108,10 @@ type Comm struct {
 	// prog is the communicator's progress engine: a lazily started
 	// goroutine draining issued requests in FIFO order.
 	prog progress
+	// recvTimeout is consumed by the world constructors (world.go), which
+	// apply their options to a probe Comm before building the transport;
+	// it has no effect on a communicator over an already-built endpoint.
+	recvTimeout time.Duration
 }
 
 // shapeKey memoizes shape resolution per (collective, vector length); the
@@ -137,6 +142,17 @@ func WithMesh(rows, cols int) Option {
 // WithAlg sets the default algorithm policy (AlgAuto if unset).
 func WithAlg(a Alg) Option {
 	return func(c *Comm) { c.alg = a }
+}
+
+// WithRecvTimeout bounds every point-to-point receive of a world built by
+// NewChannelWorld or NewTCPWorld: a receive that waits longer fails with
+// an error wrapping ErrTimeout, which the collective layer converts into
+// a world abort — the backstop failure detector behind the prompt abort
+// broadcast. The default is DefaultRecvTimeout; d ≤ 0 keeps it. The
+// option configures world construction and has no effect on a
+// communicator built with New over an existing endpoint.
+func WithRecvTimeout(d time.Duration) Option {
+	return func(c *Comm) { c.recvTimeout = d }
 }
 
 // WithTwoLevel attaches two-level machine parameters: local for ranks in

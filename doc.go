@@ -176,6 +176,56 @@
 //	}
 //	h.Free()
 //
+// # Fault tolerance and the error model
+//
+// Every transport shares one sentinel taxonomy, matched with errors.Is:
+//
+//   - ErrTimeout — an operation outlived its deadline: a receive ran past
+//     the world's receive timeout (WithRecvTimeout, DefaultRecvTimeout
+//     otherwise), or a TCP connection outage outlived its heal window.
+//     Timeouts are the backstop failure detector, converting silent
+//     failures into explicit errors.
+//   - ErrPeerFailed — another rank of the world is gone: it fail-stopped,
+//     its connection died for good, or it originated an abort. Fatal; the
+//     world has lost a member and no collective on it can complete.
+//   - ErrAborted — the world was poisoned out-of-band: a rank whose
+//     collective step failed broadcast the failure (a dying gasp) so that
+//     every peer unblocks immediately instead of draining its own receive
+//     timeout. Abort errors also wrap ErrPeerFailed and name the
+//     originating rank. Comm.Err reports the poisoning error, or nil
+//     while the world is healthy.
+//   - ErrClosed — an operation on (or with) a deliberately closed
+//     endpoint: an orderly shutdown, not a failure.
+//
+// Failure propagation is bounded-time by construction: when any send,
+// receive or combine step of a collective fails on any rank — blocking,
+// non-blocking or persistent alike — that rank broadcasts an abort on the
+// transport's out-of-band control path before returning. Peers blocked in
+// an operation fail immediately with the abort error; peers not yet
+// blocked fail on their next operation. A failure nobody observes (a rank
+// that simply stops calling) is caught by the receive timeout instead,
+// and that timeout error aborts the world in turn. After an abort the
+// world stays poisoned: every further collective on any member fails fast
+// with ErrAborted — the MPI_Abort discipline, minus the process kill.
+// In-flight Requests complete (with the abort error), progress goroutines
+// drain and exit, and no operation hangs.
+//
+// Transient faults are a different regime: the TCP transport heals them
+// silently. Each connection is supervised — a broken socket triggers
+// capped-exponential-backoff redials while senders buffer, and the
+// reconnect handshake exchanges delivered-frame counts so exactly the
+// lost suffix is retransmitted: no duplicate, no loss, no reordering, and
+// collectives in flight complete unperturbed. Only an outage that
+// outlives the heal window (WithHealWindow) is promoted to a permanent
+// ErrPeerFailed — retry-able network weather below the window, a dead
+// rank above it.
+//
+// The fault schedules themselves live in internal/faultnet: a seeded,
+// deterministic injector (fail-stop at a chosen operation, send budgets,
+// per-link budgets, drop rates, partitions, added latency) that wraps any
+// endpoint, used by the failure, chaos and acceptance suites; `make
+// chaos` runs them under the race detector.
+//
 // # Quick start
 //
 //	world := icc.NewChannelWorld(8)

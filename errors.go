@@ -1,0 +1,36 @@
+package icc
+
+import "repro/internal/transport"
+
+// The sentinel error taxonomy shared by every transport. Collective calls
+// return wrapped forms carrying rank and cause detail; match with
+// errors.Is. See the "Fault tolerance and the error model" section of the
+// package documentation for which errors are retryable and what state a
+// communicator is in after a failure.
+var (
+	// ErrTimeout reports an operation that exceeded its deadline — a
+	// receive outliving the world's receive timeout (WithRecvTimeout), or
+	// a TCP link whose outage outlived its heal window. A timeout on an
+	// otherwise healthy world is how undetected failures are converted
+	// into aborts.
+	ErrTimeout = transport.ErrTimeout
+	// ErrPeerFailed reports that another rank of the world failed: it
+	// fail-stopped, its connection died for good, or it originated an
+	// abort. Not retryable — the world has lost a member.
+	ErrPeerFailed = transport.ErrPeerFailed
+	// ErrAborted reports that the world was aborted out-of-band: some
+	// rank's collective step failed mid-operation and the failure was
+	// propagated so no peer blocks until its full receive timeout. Abort
+	// errors also wrap ErrPeerFailed.
+	ErrAborted = transport.ErrAborted
+	// ErrClosed reports an operation on (or with) a closed endpoint — a
+	// deliberate shutdown, not a failure.
+	ErrClosed = transport.ErrClosed
+)
+
+// Err returns the error that poisoned this communicator's world after an
+// abort, or nil while the world is healthy. Once non-nil, every further
+// collective on any member returns an error wrapping ErrAborted.
+func (c *Comm) Err() error {
+	return transport.AbortErr(c.ep)
+}

@@ -1,0 +1,216 @@
+// Acceptance suite for the fault-tolerance contract: a fail-stopped rank
+// must propagate its failure so that every survivor returns an error
+// wrapping icc.ErrPeerFailed well before the receive timeout — for the
+// blocking, non-blocking and persistent paths, over all three transports
+// — with no hangs and no leaked goroutines. The long-vector (bucket)
+// all-reduce is the probe collective because its ring dependency makes
+// every rank's completion depend on every other rank: no survivor can
+// legitimately finish once any rank dies.
+package icc_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	icc "repro"
+	"repro/internal/chantransport"
+	"repro/internal/faultnet"
+	"repro/internal/model"
+	"repro/internal/simnet"
+	"repro/internal/tcptransport"
+)
+
+const (
+	faultP       = 5
+	faultVictim  = 2
+	faultCount   = 64
+	faultTimeout = 30 * time.Second
+	// faultBound is the wall-clock budget for the whole world to unblock:
+	// far below faultTimeout, so a pass proves the abort broadcast (not
+	// the receive-timeout backstop) released the survivors.
+	faultBound = 10 * time.Second
+)
+
+// failStopInjector arms a fail-stop of the victim rank at its very first
+// transport operation.
+func failStopInjector() *faultnet.Injector {
+	return faultnet.New(faultnet.Config{FailStop: map[int]int{faultVictim: 0}})
+}
+
+// runFaulty runs body once per rank over the named transport, with every
+// endpoint wrapped by inj, and returns the per-rank errors.
+func runFaulty(t *testing.T, transportName string, inj *faultnet.Injector, body func(c *icc.Comm) error) []error {
+	t.Helper()
+	errs := make([]error, faultP)
+	opts := []icc.Option{icc.WithAlg(icc.AlgLong)}
+	switch transportName {
+	case "chan":
+		w, err := chantransport.NewWorld(faultP, chantransport.WithRecvTimeout(faultTimeout))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(func(ep *chantransport.Endpoint) error {
+			c, nerr := icc.New(inj.Wrap(ep), opts...)
+			if nerr != nil {
+				return nerr
+			}
+			errs[ep.Rank()] = body(c)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	case "tcp":
+		eps, err := tcptransport.NewLocalWorld(faultP, tcptransport.WithRecvTimeout(faultTimeout))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for r := 0; r < faultP; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				defer eps[r].Close()
+				c, nerr := icc.New(inj.Wrap(eps[r]), opts...)
+				if nerr != nil {
+					errs[r] = nerr
+					return
+				}
+				errs[r] = body(c)
+			}(r)
+		}
+		wg.Wait()
+	case "simnet":
+		if _, err := simnet.Run(simnet.Config{
+			Rows: 1, Cols: faultP, Machine: model.ParagonLike(), CarryData: true,
+		}, func(ep *simnet.Endpoint) error {
+			c, nerr := icc.New(inj.Wrap(ep), opts...)
+			if nerr != nil {
+				return nerr
+			}
+			errs[ep.Rank()] = body(c)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatalf("unknown transport %q", transportName)
+	}
+	return errs
+}
+
+// judgeFailStop asserts the fault-tolerance contract on the per-rank
+// outcomes of one run.
+func judgeFailStop(t *testing.T, errs []error) {
+	t.Helper()
+	if errs[faultVictim] == nil {
+		t.Errorf("victim rank %d returned no error", faultVictim)
+	} else if !errors.Is(errs[faultVictim], faultnet.ErrInjected) {
+		t.Errorf("victim rank %d error %v does not wrap faultnet.ErrInjected", faultVictim, errs[faultVictim])
+	}
+	for r, err := range errs {
+		if r == faultVictim {
+			continue
+		}
+		if err == nil {
+			t.Errorf("rank %d completed despite the fail-stopped rank %d", r, faultVictim)
+			continue
+		}
+		if !errors.Is(err, icc.ErrPeerFailed) {
+			t.Errorf("rank %d error %v does not wrap icc.ErrPeerFailed", r, err)
+		}
+	}
+}
+
+// TestFailStopPropagation: the acceptance matrix — a rank fail-stops at
+// its first operation of a bucket all-reduce, issued through each of the
+// three completion disciplines, on each of the three transports. Every
+// survivor must observe ErrPeerFailed within faultBound, and no goroutine
+// may outlive its world.
+func TestFailStopPropagation(t *testing.T) {
+	bodies := map[string]func(c *icc.Comm) error{
+		"blocking": func(c *icc.Comm) error {
+			send := make([]byte, faultCount*8)
+			recv := make([]byte, faultCount*8)
+			return c.AllReduce(send, recv, faultCount, icc.Int64, icc.Sum)
+		},
+		"nonblocking": func(c *icc.Comm) error {
+			send := make([]byte, faultCount*8)
+			recv := make([]byte, faultCount*8)
+			req, err := c.IAllReduce(send, recv, faultCount, icc.Int64, icc.Sum)
+			if err != nil {
+				return err
+			}
+			return req.Wait()
+		},
+		"persistent": func(c *icc.Comm) error {
+			send := make([]byte, faultCount*8)
+			recv := make([]byte, faultCount*8)
+			h, err := c.AllReduceInit(send, recv, faultCount, icc.Int64, icc.Sum)
+			if err != nil {
+				return err
+			}
+			defer h.Free()
+			if err := h.Start(); err != nil {
+				return err
+			}
+			return h.Wait()
+		},
+	}
+	before := runtime.NumGoroutine()
+	for _, tr := range []string{"chan", "tcp", "simnet"} {
+		for mode, body := range bodies {
+			tr, mode, body := tr, mode, body
+			t.Run(fmt.Sprintf("%s/%s", tr, mode), func(t *testing.T) {
+				start := time.Now()
+				errs := runFaulty(t, tr, failStopInjector(), body)
+				if elapsed := time.Since(start); elapsed > faultBound {
+					t.Fatalf("world took %v to unblock; the abort broadcast should beat the %v receive timeout", elapsed, faultTimeout)
+				}
+				judgeFailStop(t, errs)
+			})
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAbortPoisonsComm: after a failure, the communicator is poisoned —
+// Err reports the abort, and further collectives fail fast with
+// ErrAborted instead of timing out one by one.
+func TestAbortPoisonsComm(t *testing.T) {
+	errs2 := make([]error, faultP)
+	pErr := make([]error, faultP)
+	errs := runFaulty(t, "chan", failStopInjector(), func(c *icc.Comm) error {
+		send := make([]byte, faultCount*8)
+		recv := make([]byte, faultCount*8)
+		first := c.AllReduce(send, recv, faultCount, icc.Int64, icc.Sum)
+		pErr[c.Rank()] = c.Err()
+		start := time.Now()
+		errs2[c.Rank()] = c.Bcast(send, faultCount, icc.Int64, 0)
+		if elapsed := time.Since(start); elapsed > time.Second {
+			return fmt.Errorf("rank %d: post-abort collective took %v, want fail-fast", c.Rank(), elapsed)
+		}
+		return first
+	})
+	judgeFailStop(t, errs)
+	for r := 0; r < faultP; r++ {
+		if r == faultVictim {
+			continue
+		}
+		if pErr[r] == nil || !errors.Is(pErr[r], icc.ErrAborted) {
+			t.Errorf("rank %d: Comm.Err() = %v after abort, want ErrAborted", r, pErr[r])
+		}
+		if errs2[r] == nil || !errors.Is(errs2[r], icc.ErrAborted) {
+			t.Errorf("rank %d: post-abort Bcast error = %v, want ErrAborted", r, errs2[r])
+		}
+	}
+}

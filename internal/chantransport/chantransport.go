@@ -25,6 +25,30 @@ type World struct {
 	size    int
 	queue   [][]chan message // queue[src][dst]
 	timeout time.Duration
+	// Abort state: aborting closes abortCh so every blocked send and
+	// receive in the world wakes promptly with abortErr — the in-process
+	// form of an out-of-band abort broadcast.
+	abortOnce sync.Once
+	abortCh   chan struct{}
+	abortErr  atomic.Value // error
+}
+
+// abort poisons the world: the first reason wins, and every pending and
+// future operation on any rank fails with an error wrapping both
+// transport.ErrAborted and transport.ErrPeerFailed.
+func (w *World) abort(origin int, reason error) {
+	w.abortOnce.Do(func() {
+		w.abortErr.Store(transport.AbortError(origin, reason.Error()))
+		close(w.abortCh)
+	})
+}
+
+// aborted returns the poisoning error, or nil.
+func (w *World) aborted() error {
+	if err, ok := w.abortErr.Load().(error); ok {
+		return err
+	}
+	return nil
 }
 
 // Option configures a World.
@@ -63,7 +87,7 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	w := &World{size: size, timeout: cfg.timeout}
+	w := &World{size: size, timeout: cfg.timeout, abortCh: make(chan struct{})}
 	w.queue = make([][]chan message, size)
 	for s := range w.queue {
 		w.queue[s] = make([]chan message, size)
@@ -128,13 +152,25 @@ type Endpoint struct {
 	closed atomic.Bool
 }
 
-var _ transport.Endpoint = (*Endpoint)(nil)
+var (
+	_ transport.Endpoint = (*Endpoint)(nil)
+	_ transport.Aborter  = (*Endpoint)(nil)
+)
 
 // Rank returns this endpoint's rank.
 func (e *Endpoint) Rank() int { return e.rank }
 
 // Size returns the world size.
 func (e *Endpoint) Size() int { return e.world.size }
+
+// Abort poisons the whole world with this rank as origin: every pending
+// and future operation on every rank returns an error wrapping
+// transport.ErrAborted promptly. Within one process the broadcast is
+// immediate — the shared abort channel is the dedicated control path.
+func (e *Endpoint) Abort(reason error) { e.world.abort(e.rank, reason) }
+
+// AbortErr returns the world's poisoning error, or nil.
+func (e *Endpoint) AbortErr() error { return e.world.aborted() }
 
 // Send copies p and enqueues it for rank to. It blocks only if the pair's
 // channel buffer is full.
@@ -145,10 +181,17 @@ func (e *Endpoint) Send(to int, tag transport.Tag, p []byte) error {
 	if err := transport.CheckPeer(e.rank, e.world.size, to); err != nil {
 		return err
 	}
+	if err := e.world.aborted(); err != nil {
+		return err
+	}
 	data := make([]byte, len(p))
 	copy(data, p)
-	e.world.queue[e.rank][to] <- message{tag: tag, data: data}
-	return nil
+	select {
+	case e.world.queue[e.rank][to] <- message{tag: tag, data: data}:
+		return nil
+	case <-e.world.abortCh:
+		return e.world.aborted()
+	}
 }
 
 // Recv dequeues the next message from rank from, verifies its tag and
@@ -160,6 +203,9 @@ func (e *Endpoint) Recv(from int, tag transport.Tag, p []byte) (int, error) {
 	if err := transport.CheckPeer(e.rank, e.world.size, from); err != nil {
 		return 0, err
 	}
+	if err := e.world.aborted(); err != nil {
+		return 0, err
+	}
 	var m message
 	ch := e.world.queue[from][e.rank]
 	if e.world.timeout > 0 {
@@ -167,12 +213,18 @@ func (e *Endpoint) Recv(from int, tag transport.Tag, p []byte) (int, error) {
 		defer t.Stop()
 		select {
 		case m = <-ch:
+		case <-e.world.abortCh:
+			return 0, e.world.aborted()
 		case <-t.C:
-			return 0, fmt.Errorf("chantransport: rank %d: receive from %d tag %#x timed out after %v (likely collective deadlock)",
-				e.rank, from, tag, e.world.timeout)
+			return 0, fmt.Errorf("chantransport: rank %d: receive from %d tag %#x: %w after %v (likely collective deadlock)",
+				e.rank, from, tag, transport.ErrTimeout, e.world.timeout)
 		}
 	} else {
-		m = <-ch
+		select {
+		case m = <-ch:
+		case <-e.world.abortCh:
+			return 0, e.world.aborted()
+		}
 	}
 	if m.tag != tag {
 		return 0, fmt.Errorf("%w: rank %d expected tag %#x from %d, got %#x",

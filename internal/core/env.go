@@ -63,12 +63,23 @@ func (e *env) send(to int, tag transport.Tag, p []byte, n int) error {
 		return nil
 	}
 	if e.carry {
-		return e.ep.Send(rank, tag, p[:n])
+		return e.fail(e.ep.Send(rank, tag, p[:n]))
 	}
 	if ss, ok := e.ep.(transport.SizeSender); ok {
-		return ss.SendSize(rank, tag, n)
+		return e.fail(ss.SendSize(rank, tag, n))
 	}
-	return e.ep.Send(rank, tag, make([]byte, n))
+	return e.fail(e.ep.Send(rank, tag, make([]byte, n)))
+}
+
+// fail converts a failed collective step into a world abort (see
+// transport.AbortOnError): the peers blocked on this rank's contribution
+// return promptly instead of waiting out their receive timeouts. The error
+// is returned unchanged.
+func (e *env) fail(err error) error {
+	if err == nil {
+		return nil
+	}
+	return transport.AbortOnError(e.ep, err)
 }
 
 // recv receives exactly n bytes from logical node from into p.
@@ -88,10 +99,10 @@ func (e *env) recv(from int, tag transport.Tag, p []byte, n int) error {
 		got, err = e.ep.Recv(rank, tag, make([]byte, n))
 	}
 	if err != nil {
-		return err
+		return e.fail(err)
 	}
 	if got != n {
-		return fmt.Errorf("core: logical %d received %d bytes from %d, want %d (tag %#x)", e.me, got, from, n, uint32(tag))
+		return e.fail(fmt.Errorf("core: logical %d received %d bytes from %d, want %d (tag %#x)", e.me, got, from, n, uint32(tag)))
 	}
 	return nil
 }
@@ -118,10 +129,10 @@ func (e *env) sendRecv(to int, stag transport.Tag, sp []byte, sn int, from int, 
 		got, err = e.ep.SendRecv(toRank, stag, make([]byte, sn), fromRank, rtag, make([]byte, rn))
 	}
 	if err != nil {
-		return err
+		return e.fail(err)
 	}
 	if got != rn {
-		return fmt.Errorf("core: logical %d received %d bytes from %d, want %d (tag %#x)", e.me, got, from, rn, uint32(rtag))
+		return e.fail(fmt.Errorf("core: logical %d received %d bytes from %d, want %d (tag %#x)", e.me, got, from, rn, uint32(rtag)))
 	}
 	return nil
 }
@@ -166,7 +177,7 @@ func (e *env) combine(dt datatype.Type, op datatype.Op, dst, src []byte, n int) 
 	}
 	if e.carry {
 		if err := datatype.Apply(dt, op, dst[:n], src[:n]); err != nil {
-			return err
+			return e.fail(err)
 		}
 	}
 	if e.hasMach {

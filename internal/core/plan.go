@@ -103,6 +103,9 @@ func (pl *Plan) Execute(ep transport.Endpoint, mach *model.Machine, bs Buffers) 
 		}
 	}
 	ss, hasSS := ep.(transport.SizeSender)
+	// fail mirrors env.fail on the replay path: a failed step aborts the
+	// world so peers blocked mid-plan return within the propagation bound.
+	fail := func(err error) error { return transport.AbortOnError(ep, err) }
 	sl := func(r bufRef, n int) []byte {
 		if !carry || r.space == spaceNone {
 			return nil
@@ -130,7 +133,7 @@ func (pl *Plan) Execute(ep transport.Endpoint, mach *model.Machine, bs Buffers) 
 				err = ep.Send(st.peer, st.tag, make([]byte, st.n))
 			}
 			if err != nil {
-				return err
+				return fail(err)
 			}
 		case opRecv:
 			var got int
@@ -144,10 +147,10 @@ func (pl *Plan) Execute(ep transport.Endpoint, mach *model.Machine, bs Buffers) 
 				got, err = ep.Recv(st.peer, st.tag, make([]byte, st.n))
 			}
 			if err != nil {
-				return err
+				return fail(err)
 			}
 			if got != st.n {
-				return fmt.Errorf("core: plan received %d bytes from %d, want %d (tag %#x)", got, st.peer, st.n, uint32(st.tag))
+				return fail(fmt.Errorf("core: plan received %d bytes from %d, want %d (tag %#x)", got, st.peer, st.n, uint32(st.tag)))
 			}
 		case opSendRecv:
 			var got int
@@ -161,15 +164,15 @@ func (pl *Plan) Execute(ep transport.Endpoint, mach *model.Machine, bs Buffers) 
 				got, err = ep.SendRecv(st.peer, st.tag, make([]byte, st.n), st.peer2, st.tag2, make([]byte, st.n2))
 			}
 			if err != nil {
-				return err
+				return fail(err)
 			}
 			if got != st.n2 {
-				return fmt.Errorf("core: plan received %d bytes from %d, want %d (tag %#x)", got, st.peer2, st.n2, uint32(st.tag2))
+				return fail(fmt.Errorf("core: plan received %d bytes from %d, want %d (tag %#x)", got, st.peer2, st.n2, uint32(st.tag2)))
 			}
 		case opCombine:
 			if carry && st.n > 0 {
 				if err := datatype.Apply(pl.DT, pl.CombineOp, sl(st.a, st.n), sl(st.b, st.n)); err != nil {
-					return err
+					return fail(err)
 				}
 			}
 			if mach != nil {

@@ -1,0 +1,312 @@
+// Package faultnet injects deterministic, seeded faults underneath any
+// transport.Endpoint. It is the library's standing chaos harness: wrap a
+// world's endpoints in one Injector and a fault schedule — fail-stop
+// ranks, per-link error budgets, random drops, partitions, added latency —
+// plays out identically on every run with the same seed, so a failure a
+// chaos test finds is a failure a developer can replay.
+//
+// Faults are decided per operation from a counter each wrapped endpoint
+// advances on every Send, Recv and SendRecv, hashed with the seed and the
+// rank. An injected error is returned to the local caller exactly as a
+// real transport failure would be; it wraps ErrInjected so tests can tell
+// scheduled faults from genuine bugs. Fault propagation to peers is not
+// faultnet's job — that is precisely the machinery under test — so the
+// Aborter control path passes through to the inner endpoint uninjected
+// (an abort broadcast models out-of-band failure detection, which a lossy
+// data plane must not silence).
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// ErrInjected is wrapped by every error faultnet injects.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Link identifies a directed rank pair.
+type Link struct{ From, To int }
+
+// Config is a fault schedule. The zero value injects nothing.
+type Config struct {
+	// Seed selects the deterministic pseudo-random sequence behind
+	// DropRate and Jitter decisions.
+	Seed int64
+	// FailStop maps rank → operation index at which the rank fail-stops:
+	// its k-th transport operation (0-based, counted while armed) and
+	// every later one fail. A rank absent from the map never fail-stops.
+	FailStop map[int]int
+	// SendBudget, when non-nil, is a world-shared budget of successful
+	// sends: once exhausted, every further Send (and the send half of
+	// SendRecv) on any wrapped endpoint fails. Use Limit to build one.
+	SendBudget *int64
+	// LinkBudget maps a directed link to the number of operations allowed
+	// on it (sends at the source, receives at the destination) before the
+	// link starts failing.
+	LinkBudget map[Link]int
+	// DropRate is the probability in [0, 1) that any single operation
+	// fails, decided deterministically from Seed, rank and op index.
+	DropRate float64
+	// Partition, when non-empty, assigns each rank a side (len ≥ world
+	// size, arbitrary labels); once a wrapped endpoint's op counter
+	// reaches PartitionAt, operations crossing sides fail.
+	Partition   []int
+	PartitionAt int
+	// Latency adds a fixed delay before every operation; Jitter adds a
+	// uniform extra in [0, Jitter), seeded. On virtual-time transports the
+	// delay elapses on the simulated clock, otherwise it sleeps.
+	Latency, Jitter time.Duration
+}
+
+// Limit returns a send-budget pointer for Config.SendBudget.
+func Limit(n int64) *int64 { return &n }
+
+// Injector holds the mutable state of one fault schedule — shared budgets
+// and the armed flag — and wraps endpoints with it. One Injector spans one
+// world; wrapping endpoints of different worlds with the same Injector
+// shares its budgets across them.
+type Injector struct {
+	cfg    Config
+	armed  atomic.Bool
+	budget atomic.Int64
+	links  map[Link]*atomic.Int64
+	tally  atomic.Int64 // injected faults, for tests and logs
+}
+
+// New builds an Injector from a schedule, armed immediately.
+func New(cfg Config) *Injector {
+	inj := &Injector{cfg: cfg, links: make(map[Link]*atomic.Int64, len(cfg.LinkBudget))}
+	if cfg.SendBudget != nil {
+		inj.budget.Store(*cfg.SendBudget)
+	}
+	for l, n := range cfg.LinkBudget {
+		c := new(atomic.Int64)
+		c.Store(int64(n))
+		inj.links[l] = c
+	}
+	inj.armed.Store(true)
+	return inj
+}
+
+// SetArmed enables or disables the whole schedule. While disarmed,
+// operations pass through unchanged and do not advance op counters — tests
+// use it to run a clean warm-up collective, then arm the faults so a
+// fail-stop lands at a known operation of the next collective.
+func (inj *Injector) SetArmed(on bool) { inj.armed.Store(on) }
+
+// Injected reports how many faults the schedule has injected so far.
+func (inj *Injector) Injected() int64 { return inj.tally.Load() }
+
+// Wrap returns ep with the injector's fault schedule applied. The wrapper
+// forwards the optional capability interfaces (Clock, DataCarrier,
+// SizeSender, Aborter) to the inner endpoint; structure hints (Machine,
+// TwoLevel, Hierarchy) are intentionally not forwarded — a chaos test
+// exercises the flat paths unless it attaches structure itself.
+func (inj *Injector) Wrap(ep transport.Endpoint) *Endpoint {
+	return &Endpoint{inner: ep, inj: inj}
+}
+
+// Endpoint is a fault-injecting wrapper around one rank's endpoint.
+type Endpoint struct {
+	inner transport.Endpoint
+	inj   *Injector
+	ops   atomic.Int64
+	dead  atomic.Bool
+}
+
+var (
+	_ transport.Endpoint    = (*Endpoint)(nil)
+	_ transport.Aborter     = (*Endpoint)(nil)
+	_ transport.Clock       = (*Endpoint)(nil)
+	_ transport.DataCarrier = (*Endpoint)(nil)
+	_ transport.SizeSender  = (*Endpoint)(nil)
+)
+
+// Rank returns the inner endpoint's rank.
+func (f *Endpoint) Rank() int { return f.inner.Rank() }
+
+// Size returns the inner endpoint's world size.
+func (f *Endpoint) Size() int { return f.inner.Size() }
+
+// Close closes the inner endpoint.
+func (f *Endpoint) Close() error { return f.inner.Close() }
+
+// Abort passes through to the inner endpoint: the abort broadcast is the
+// failure-detection control path whose effectiveness chaos tests measure,
+// so injected data-plane faults never cut it.
+func (f *Endpoint) Abort(reason error) { transport.Abort(f.inner, reason) }
+
+// AbortErr returns the inner endpoint's poisoning error, or nil.
+func (f *Endpoint) AbortErr() error { return transport.AbortErr(f.inner) }
+
+// Now returns the inner clock's virtual time, or 0 on real-time transports.
+func (f *Endpoint) Now() float64 {
+	if c, ok := f.inner.(transport.Clock); ok {
+		return c.Now()
+	}
+	return 0
+}
+
+// Elapse advances the inner clock if the transport has one.
+func (f *Endpoint) Elapse(seconds float64) {
+	if c, ok := f.inner.(transport.Clock); ok {
+		c.Elapse(seconds)
+	}
+}
+
+// CarriesData reports the inner endpoint's data-carrying mode.
+func (f *Endpoint) CarriesData() bool { return transport.CarriesData(f.inner) }
+
+// gate runs the fault schedule for one operation: it advances the op
+// counter and returns the injected error, if any. send and recv name the
+// peers of the operation's two halves (-1 when absent).
+func (f *Endpoint) gate(kind string, sendTo, recvFrom int) error {
+	inj := f.inj
+	rank := f.inner.Rank()
+	if !inj.armed.Load() {
+		return nil
+	}
+	idx := int(f.ops.Add(1)) - 1
+	if f.dead.Load() {
+		inj.tally.Add(1)
+		return fmt.Errorf("%w: rank %d is fail-stopped", ErrInjected, rank)
+	}
+	if k, ok := inj.cfg.FailStop[rank]; ok && idx >= k {
+		f.dead.Store(true)
+		inj.tally.Add(1)
+		return fmt.Errorf("%w: rank %d fail-stopped at op %d (%s)", ErrInjected, rank, idx, kind)
+	}
+	f.delay(idx)
+	if inj.cfg.DropRate > 0 && rand01(inj.cfg.Seed, rank, idx) < inj.cfg.DropRate {
+		inj.tally.Add(1)
+		return fmt.Errorf("%w: rank %d op %d (%s) dropped", ErrInjected, rank, idx, kind)
+	}
+	if p := inj.cfg.Partition; len(p) > rank && idx >= inj.cfg.PartitionAt {
+		for _, peer := range []int{sendTo, recvFrom} {
+			if peer >= 0 && peer < len(p) && p[peer] != p[rank] {
+				inj.tally.Add(1)
+				return fmt.Errorf("%w: rank %d op %d (%s): partition separates %d from %d", ErrInjected, rank, idx, kind, rank, peer)
+			}
+		}
+	}
+	if sendTo >= 0 {
+		if inj.cfg.SendBudget != nil && inj.budget.Add(-1) < 0 {
+			inj.tally.Add(1)
+			return fmt.Errorf("%w: rank %d op %d (%s): send budget exhausted", ErrInjected, rank, idx, kind)
+		}
+		if err := f.linkGate(Link{From: rank, To: sendTo}, kind, idx); err != nil {
+			return err
+		}
+	}
+	if recvFrom >= 0 {
+		if err := f.linkGate(Link{From: recvFrom, To: rank}, kind, idx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// linkGate charges one operation against a directed link's budget.
+func (f *Endpoint) linkGate(l Link, kind string, idx int) error {
+	c, ok := f.inj.links[l]
+	if !ok {
+		return nil
+	}
+	if c.Add(-1) < 0 {
+		f.inj.tally.Add(1)
+		return fmt.Errorf("%w: rank %d op %d (%s): link %d→%d budget exhausted", ErrInjected, f.inner.Rank(), idx, kind, l.From, l.To)
+	}
+	return nil
+}
+
+// delay applies the configured latency, on the virtual clock when the
+// transport has one.
+func (f *Endpoint) delay(idx int) {
+	cfg := f.inj.cfg
+	d := cfg.Latency
+	if cfg.Jitter > 0 {
+		d += time.Duration(rand01(cfg.Seed^0x6a77, f.inner.Rank(), idx) * float64(cfg.Jitter))
+	}
+	if d <= 0 {
+		return
+	}
+	if c, ok := f.inner.(transport.Clock); ok {
+		c.Elapse(d.Seconds())
+		return
+	}
+	time.Sleep(d)
+}
+
+// Send applies the schedule, then forwards to the inner endpoint.
+func (f *Endpoint) Send(to int, tag transport.Tag, p []byte) error {
+	if err := f.gate("send", to, -1); err != nil {
+		return err
+	}
+	return f.inner.Send(to, tag, p)
+}
+
+// Recv applies the schedule, then forwards to the inner endpoint.
+func (f *Endpoint) Recv(from int, tag transport.Tag, p []byte) (int, error) {
+	if err := f.gate("recv", -1, from); err != nil {
+		return 0, err
+	}
+	return f.inner.Recv(from, tag, p)
+}
+
+// SendRecv applies the schedule once (both halves checked), then forwards.
+func (f *Endpoint) SendRecv(to int, stag transport.Tag, sp []byte, from int, rtag transport.Tag, rp []byte) (int, error) {
+	if err := f.gate("sendrecv", to, from); err != nil {
+		return 0, err
+	}
+	return f.inner.SendRecv(to, stag, sp, from, rtag, rp)
+}
+
+// SendSize forwards to the inner SizeSender, or emulates with a payload.
+func (f *Endpoint) SendSize(to int, tag transport.Tag, n int) error {
+	if err := f.gate("send", to, -1); err != nil {
+		return err
+	}
+	if ss, ok := f.inner.(transport.SizeSender); ok {
+		return ss.SendSize(to, tag, n)
+	}
+	return f.inner.Send(to, tag, make([]byte, n))
+}
+
+// RecvSize forwards to the inner SizeSender, or emulates with a payload.
+func (f *Endpoint) RecvSize(from int, tag transport.Tag, n int) (int, error) {
+	if err := f.gate("recv", -1, from); err != nil {
+		return 0, err
+	}
+	if ss, ok := f.inner.(transport.SizeSender); ok {
+		return ss.RecvSize(from, tag, n)
+	}
+	return f.inner.Recv(from, tag, make([]byte, n))
+}
+
+// SendRecvSize forwards to the inner SizeSender, or emulates with payloads.
+func (f *Endpoint) SendRecvSize(to int, stag transport.Tag, sn int, from int, rtag transport.Tag, rn int) (int, error) {
+	if err := f.gate("sendrecv", to, from); err != nil {
+		return 0, err
+	}
+	if ss, ok := f.inner.(transport.SizeSender); ok {
+		return ss.SendRecvSize(to, stag, sn, from, rtag, rn)
+	}
+	return f.inner.SendRecv(to, stag, make([]byte, sn), from, rtag, make([]byte, rn))
+}
+
+// rand01 returns a deterministic uniform value in [0, 1) for (seed, rank,
+// op index) — a splitmix64-style finalizer, the same construction simnet
+// uses for latency noise.
+func rand01(seed int64, rank, idx int) float64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(rank+1)*0xbf58476d1ce4e5b9 + uint64(idx+1)*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

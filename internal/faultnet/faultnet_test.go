@@ -1,0 +1,286 @@
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/chantransport"
+	"repro/internal/transport"
+)
+
+// pair builds a 2-rank channel world and hands both raw endpoints to fn.
+func pair(t *testing.T, fn func(a, b *chantransport.Endpoint)) {
+	t.Helper()
+	w, err := chantransport.NewWorld(2, chantransport.WithRecvTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := make(chan *chantransport.Endpoint, 2)
+	release := make(chan struct{})
+	ran := make(chan struct{})
+	go func() {
+		defer close(ran)
+		_ = w.Run(func(ep *chantransport.Endpoint) error {
+			eps <- ep
+			<-release // keep the world alive while fn drives the endpoints
+			return nil
+		})
+	}()
+	a := <-eps
+	b := <-eps
+	if a.Rank() != 0 {
+		a, b = b, a
+	}
+	defer func() { close(release); <-ran }()
+	fn(a, b)
+}
+
+// drive exchanges k messages 0→1 through the wrapped endpoints and
+// returns the op index of the first injected failure, or -1.
+func drive(inj *Injector, a, b *chantransport.Endpoint, k int) int {
+	fa, fb := inj.Wrap(a), inj.Wrap(b)
+	for i := 0; i < k; i++ {
+		if err := fa.Send(1, transport.Tag(i), []byte{byte(i)}); err != nil {
+			return i
+		}
+		if _, err := fb.Recv(0, transport.Tag(i), make([]byte, 1)); err != nil {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestDeterminism: the same seed yields the same fault schedule; a
+// different seed yields a different one (for this probe).
+func TestDeterminism(t *testing.T) {
+	failAt := func(seed int64) int {
+		var at int
+		pair(t, func(a, b *chantransport.Endpoint) {
+			at = drive(New(Config{Seed: seed, DropRate: 0.2}), a, b, 200)
+		})
+		return at
+	}
+	first := failAt(42)
+	if first < 0 {
+		t.Fatal("drop rate 0.2 never fired in 200 ops")
+	}
+	if again := failAt(42); again != first {
+		t.Fatalf("same seed failed at op %d then %d", first, again)
+	}
+	if other := failAt(43); other == first {
+		t.Fatalf("seeds 42 and 43 both failed at op %d — suspiciously identical", other)
+	}
+}
+
+// TestFailStopExactness: the victim's k-th armed operation fails, every
+// earlier one succeeds, and every later one keeps failing (fail-stop, not
+// fail-once).
+func TestFailStopExactness(t *testing.T) {
+	const k = 7
+	pair(t, func(a, b *chantransport.Endpoint) {
+		inj := New(Config{FailStop: map[int]int{0: k}})
+		fa := inj.Wrap(a)
+		for i := 0; i < k; i++ {
+			if err := fa.Send(1, transport.Tag(i), []byte{1}); err != nil {
+				t.Fatalf("op %d failed before the scheduled fail-stop at %d: %v", i, k, err)
+			}
+			if _, err := b.Recv(0, transport.Tag(i), make([]byte, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			err := fa.Send(1, 99, []byte{1})
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("op %d after fail-stop: err = %v, want ErrInjected", k+i, err)
+			}
+		}
+		if got := inj.Injected(); got != 3 {
+			t.Fatalf("Injected() = %d, want 3", got)
+		}
+	})
+}
+
+// TestSendBudget: exactly the budgeted number of sends succeed; receives
+// are not charged against it.
+func TestSendBudget(t *testing.T) {
+	const n = 5
+	pair(t, func(a, b *chantransport.Endpoint) {
+		inj := New(Config{SendBudget: Limit(n)})
+		if at := drive(inj, a, b, 100); at != n {
+			t.Fatalf("budget of %d sends was exhausted at op %d", n, at)
+		}
+	})
+}
+
+// TestLinkBudget: a directed link budget charges both the sender and the
+// receiver of that link, and leaves the reverse direction alone.
+func TestLinkBudget(t *testing.T) {
+	pair(t, func(a, b *chantransport.Endpoint) {
+		inj := New(Config{LinkBudget: map[Link]int{{From: 0, To: 1}: 4}})
+		fa, fb := inj.Wrap(a), inj.Wrap(b)
+		// Two 0→1 messages: charges 2 at the sender + 2 at the receiver.
+		for i := 0; i < 2; i++ {
+			if err := fa.Send(1, transport.Tag(i), []byte{1}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fb.Recv(0, transport.Tag(i), make([]byte, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The reverse link is unbudgeted.
+		if err := fb.Send(0, 7, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fa.Recv(1, 7, make([]byte, 1)); err != nil {
+			t.Fatal(err)
+		}
+		// The budget is spent: the next 0→1 send fails.
+		if err := fa.Send(1, 8, []byte{1}); !errors.Is(err, ErrInjected) {
+			t.Fatalf("send on exhausted link: err = %v, want ErrInjected", err)
+		}
+	})
+}
+
+// TestPartition: once the partition activates, only cross-side traffic
+// fails.
+func TestPartition(t *testing.T) {
+	pair(t, func(a, b *chantransport.Endpoint) {
+		inj := New(Config{Partition: []int{0, 1}, PartitionAt: 2})
+		fa := inj.Wrap(a)
+		for i := 0; i < 2; i++ {
+			if err := fa.Send(1, transport.Tag(i), []byte{1}); err != nil {
+				t.Fatalf("op %d before PartitionAt failed: %v", i, err)
+			}
+			if _, err := b.Recv(0, transport.Tag(i), make([]byte, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fa.Send(1, 9, []byte{1}); !errors.Is(err, ErrInjected) {
+			t.Fatalf("cross-partition send: err = %v, want ErrInjected", err)
+		}
+		// A same-side operation (self loopback) is unaffected.
+		if err := fa.Send(0, 10, []byte{1}); err != nil {
+			t.Fatalf("same-side send failed: %v", err)
+		}
+	})
+}
+
+// TestArming: disarmed operations pass through, inject nothing, and do
+// not advance the op counter, so a schedule lands at a known op after a
+// warm-up of any length.
+func TestArming(t *testing.T) {
+	pair(t, func(a, b *chantransport.Endpoint) {
+		inj := New(Config{FailStop: map[int]int{0: 1}})
+		inj.SetArmed(false)
+		fa := inj.Wrap(a)
+		for i := 0; i < 10; i++ { // warm-up far past the fail-stop index
+			if err := fa.Send(1, transport.Tag(i), []byte{1}); err != nil {
+				t.Fatalf("disarmed op %d failed: %v", i, err)
+			}
+			if _, err := b.Recv(0, transport.Tag(i), make([]byte, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if inj.Injected() != 0 {
+			t.Fatalf("disarmed injector tallied %d faults", inj.Injected())
+		}
+		inj.SetArmed(true)
+		if err := fa.Send(1, 50, []byte{1}); err != nil {
+			t.Fatalf("armed op 0 (below fail-stop at 1) failed: %v", err)
+		}
+		if _, err := b.Recv(0, 50, make([]byte, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := fa.Send(1, 51, []byte{1}); !errors.Is(err, ErrInjected) {
+			t.Fatalf("armed op 1: err = %v, want the fail-stop", err)
+		}
+	})
+}
+
+// TestAbortPassthrough: injected data-plane faults never cut the abort
+// control path — the wrapper forwards Abort/AbortErr to the inner
+// endpoint even on a fail-stopped rank.
+func TestAbortPassthrough(t *testing.T) {
+	pair(t, func(a, b *chantransport.Endpoint) {
+		inj := New(Config{FailStop: map[int]int{0: 0}})
+		fa, fb := inj.Wrap(a), inj.Wrap(b)
+		err := fa.Send(1, 1, []byte{1})
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("fail-stop did not fire: %v", err)
+		}
+		transport.Abort(fa, err)
+		for _, f := range []*Endpoint{fa, fb} {
+			got := transport.AbortErr(f)
+			if got == nil || !errors.Is(got, transport.ErrAborted) {
+				t.Fatalf("rank %d AbortErr = %v, want the abort", f.Rank(), got)
+			}
+		}
+		if _, rerr := fb.Recv(0, 1, make([]byte, 1)); !errors.Is(rerr, transport.ErrAborted) {
+			t.Fatalf("post-abort recv on the peer: err = %v, want ErrAborted", rerr)
+		}
+	})
+}
+
+// TestLatencySleeps: configured latency delays real-time transports.
+func TestLatencySleeps(t *testing.T) {
+	pair(t, func(a, b *chantransport.Endpoint) {
+		const d, k = 5 * time.Millisecond, 4
+		inj := New(Config{Latency: d})
+		fa := inj.Wrap(a)
+		start := time.Now()
+		for i := 0; i < k; i++ {
+			if err := fa.Send(1, transport.Tag(i), []byte{1}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.Recv(0, transport.Tag(i), make([]byte, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if elapsed := time.Since(start); elapsed < k*d {
+			t.Fatalf("%d ops with %v latency took only %v", k, d, elapsed)
+		}
+	})
+}
+
+// TestRand01Range: the hash stays in [0, 1) over a spread of inputs.
+func TestRand01Range(t *testing.T) {
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := rand01(int64(i%17), i%5, i)
+		if v < 0 || v >= 1 {
+			t.Fatalf("rand01 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.45 || mean > 0.55 {
+		t.Fatalf("rand01 mean %v is far from uniform", mean)
+	}
+}
+
+// TestErrorsAreDistinguishable: injected errors identify the rank, op and
+// kind — a chaos log must be attributable to the schedule.
+func TestErrorsAreDistinguishable(t *testing.T) {
+	pair(t, func(a, b *chantransport.Endpoint) {
+		inj := New(Config{FailStop: map[int]int{0: 0}})
+		err := inj.Wrap(a).Send(1, 1, []byte{1})
+		want := fmt.Sprintf("rank %d fail-stopped at op 0", 0)
+		if err == nil || !errors.Is(err, ErrInjected) {
+			t.Fatalf("err = %v", err)
+		}
+		if got := err.Error(); !contains(got, want) {
+			t.Fatalf("error %q does not name the fault: want substring %q", got, want)
+		}
+	})
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

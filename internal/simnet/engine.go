@@ -98,6 +98,12 @@ type engine struct {
 
 	messages int64
 	moved    float64
+
+	// abortErr, once set, poisons the simulation: every blocked operation
+	// is failed with it and every later post returns it immediately. Only
+	// ever touched by the goroutine holding the scheduling baton, like all
+	// engine state.
+	abortErr error
 }
 
 func newEngine(cfg Config) *engine {
@@ -149,6 +155,16 @@ func (e *engine) yieldWait(p *proc) {
 // against the peer's posted counterpart if present, then blocks p until all
 // complete. It returns nothing; callers read results out of the ops.
 func (e *engine) postOps(p *proc, ops ...*op) {
+	if e.abortErr != nil {
+		// The world is poisoned: fail without blocking (and without
+		// yielding — the caller keeps the baton and will yield when its
+		// proc exits or posts again).
+		for _, o := range ops {
+			o.done = true
+			o.err = e.abortErr
+		}
+		return
+	}
 	p.waiting = append(p.waiting[:0], ops...)
 	for _, o := range ops {
 		var key pairKey

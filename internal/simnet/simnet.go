@@ -301,7 +301,25 @@ var (
 	_ transport.Endpoint    = (*Endpoint)(nil)
 	_ transport.Clock       = (*Endpoint)(nil)
 	_ transport.DataCarrier = (*Endpoint)(nil)
+	_ transport.Aborter     = (*Endpoint)(nil)
 )
+
+// Abort poisons the simulation with this node as origin: every blocked
+// operation on every node fails immediately (in virtual time) and every
+// later post returns the abort error without blocking. Like every endpoint
+// method it must be called by the goroutine currently holding the node's
+// scheduling baton.
+func (ep *Endpoint) Abort(reason error) {
+	e := ep.e
+	if e.abortErr != nil {
+		return
+	}
+	e.abortErr = transport.AbortError(ep.proc.id, reason.Error())
+	e.failBlocked(e.abortErr)
+}
+
+// AbortErr returns the simulation's poisoning error, or nil.
+func (ep *Endpoint) AbortErr() error { return ep.e.abortErr }
 
 // Rank returns the node id (row*Cols + col).
 func (ep *Endpoint) Rank() int { return ep.proc.id }

@@ -5,19 +5,35 @@
 // §11's observation that porting InterCom means swapping exactly this
 // layer.
 //
-// Wire protocol: after connecting, a dialer sends its 4-byte rank; every
-// subsequent message is a frame of 4-byte tag, 4-byte payload length, and
-// payload. Messages between a pair of ranks are FIFO (one TCP stream per
-// ordered pair direction is not needed — a single duplex connection per
-// pair preserves per-direction order).
+// The transport is self-healing: every frame a rank sends is retained
+// until the peer acknowledges it, so when a connection drops the link
+// enters an outage — the dialer side (the higher rank of the pair, as
+// during bring-up) redials with capped exponential backoff and jitter
+// while the acceptor side keeps its listener open — and a reconnect
+// handshake exchanges cumulative delivery counts so exactly the lost
+// frames are retransmitted, preserving FIFO order with no duplicates. An
+// outage longer than the heal window is fatal: the link fails with an
+// error wrapping transport.ErrPeerFailed. Transient socket errors are
+// therefore invisible to the collective layer; only real peer death
+// surfaces.
+//
+// Wire protocol: a dialer opens with its 4-byte rank and 8-byte receive
+// count; the acceptor replies with its own receive count. Frames follow,
+// each led by a type byte: data (4-byte tag, 4-byte length, payload),
+// ack (8-byte cumulative receive count), abort (4-byte origin, 4-byte
+// length, reason text — the out-of-band failure broadcast), and bye
+// (graceful close). Messages between a pair of ranks are FIFO.
 package tcptransport
 
 import (
+	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/transport"
@@ -28,27 +44,107 @@ type message struct {
 	data []byte
 }
 
+// Frame type bytes.
+const (
+	frameData  = 0x00
+	frameAck   = 0x01
+	frameAbort = 0x02
+	frameBye   = 0x03
+)
+
+const (
+	queueDepth = 64 // inbound messages buffered per link
+
+	// Receivers acknowledge every ackEvery data frames or ackBytes
+	// payload bytes, whichever comes first; senders stop buffering
+	// unacknowledged frames at maxUnackedBytes bytes or maxUnackedFrames
+	// frames. The ack thresholds are far below the buffering caps, so a
+	// healthy link never stalls waiting for an ack.
+	ackEvery         = 16
+	ackBytes         = 1 << 20
+	maxUnackedBytes  = 32 << 20
+	maxUnackedFrames = 1 << 15
+
+	handshakeTimeout   = 2 * time.Second
+	dialAttemptTimeout = time.Second
+)
+
 // Endpoint is one rank's node in a TCP world. Safe for one collective at
 // a time, like every transport in this library; Send and Recv may run
 // concurrently (SendRecv).
 type Endpoint struct {
 	rank, size int
-	conns      []*conn        // indexed by peer rank; conns[rank] == nil
-	queues     []chan message // inbound, indexed by source rank
-	loopback   chan message   // self-messages
-	timeout    time.Duration  // optional receive timeout
+	cfg        config
+	addrs      []string
+	ln         net.Listener
+	links      []*link      // indexed by peer rank; links[rank] == nil
+	loopback   chan message // self-messages
+	done       chan struct{}
+	closed     atomic.Bool
 	closeOnce  sync.Once
 	closeErr   error
+
+	abortOnce   sync.Once
+	abortedCh   chan struct{}
+	abortReason atomic.Value // error
+
+	reconnects atomic.Int64
 }
 
-type conn struct {
-	c  net.Conn
-	wm sync.Mutex // serializes frame writes
+// link is the state of one peer connection: the live conn (nil during an
+// outage), the retransmit buffer of unacknowledged sent frames, and the
+// cumulative receive count the reconnect handshake resynchronizes on.
+// All fields are guarded by mu; cond wakes senders blocked on the
+// buffering cap.
+type link struct {
+	e    *Endpoint
+	peer int
+
+	queue chan message // inbound; never closed (down signals failure)
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	c    net.Conn
+	gen  int // bumped on every conn change; stale readers/timers check it
+
+	// Sender state: sent counts data frames handed to Send; unacked holds
+	// the frames the peer has not yet acknowledged (retransmitted on
+	// reconnect).
+	sent         uint64
+	unacked      [][]byte
+	unackedBytes int
+
+	// Receiver state: recvd counts data frames delivered in order;
+	// sinceAck/sinceAckBytes drive periodic acknowledgements.
+	recvd         uint64
+	sinceAck      int
+	sinceAckBytes int
+
+	dialing   bool
+	healTimer *time.Timer
+	failErr   error
+	closed    bool
+	down      chan struct{} // closed when the link fails or closes
+	downed    bool
+	est       bool
+	estCh     chan struct{} // closed on first establishment
 }
 
-var _ transport.Endpoint = (*Endpoint)(nil)
+var (
+	_ transport.Endpoint = (*Endpoint)(nil)
+	_ transport.Aborter  = (*Endpoint)(nil)
+)
 
-const queueDepth = 64
+func newLink(e *Endpoint, peer int) *link {
+	l := &link{
+		e: e, peer: peer,
+		queue: make(chan message, queueDepth),
+		down:  make(chan struct{}),
+		estCh: make(chan struct{}),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
 
 // Rank returns this endpoint's rank.
 func (e *Endpoint) Rank() int { return e.rank }
@@ -56,61 +152,154 @@ func (e *Endpoint) Rank() int { return e.rank }
 // Size returns the world size.
 func (e *Endpoint) Size() int { return e.size }
 
-// Send writes p as one frame to rank to.
+// Reconnects reports how many times this endpoint has re-established a
+// dropped connection (either side).
+func (e *Endpoint) Reconnects() int64 { return e.reconnects.Load() }
+
+// Abort broadcasts an out-of-band abort to every reachable peer (a
+// dedicated frame type, outside the data stream's tag space) and poisons
+// this endpoint: every pending and future operation fails promptly with
+// an error wrapping transport.ErrAborted.
+func (e *Endpoint) Abort(reason error) {
+	e.poison(transport.AbortError(e.rank, reason.Error()))
+	fr := abortFrame(e.rank, reason)
+	for _, l := range e.links {
+		if l == nil {
+			continue
+		}
+		l.mu.Lock()
+		if l.c != nil {
+			l.writeLocked(l.c, fr) // best effort: unreachable peers learn via their own timeouts
+		}
+		l.mu.Unlock()
+	}
+}
+
+// AbortErr returns the endpoint's poisoning error, or nil.
+func (e *Endpoint) AbortErr() error {
+	if err, ok := e.abortReason.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// poison records the abort and wakes everything: abortedCh is closed
+// before any link lock is taken, so a reader blocked enqueueing while
+// holding a link lock wakes without poison needing that lock.
+func (e *Endpoint) poison(err error) {
+	e.abortOnce.Do(func() {
+		e.abortReason.Store(err)
+		close(e.abortedCh)
+	})
+	for _, l := range e.links {
+		if l == nil {
+			continue
+		}
+		l.mu.Lock()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+}
+
+// Send hands p to the link: the frame is buffered for retransmission and
+// written to the live conn if one exists. During an outage Send succeeds
+// into the buffer (healing is transparent); it blocks only at the
+// buffering cap, and fails once the link is declared dead.
 func (e *Endpoint) Send(to int, tag transport.Tag, p []byte) error {
 	if err := transport.CheckPeer(e.rank, e.size, to); err != nil {
 		return err
 	}
-	if to == e.rank {
-		data := make([]byte, len(p))
-		copy(data, p)
-		e.loopback <- message{tag: tag, data: data}
-		return nil
+	if err := e.AbortErr(); err != nil {
+		return err
 	}
-	c := e.conns[to]
-	if c == nil {
+	if e.closed.Load() {
 		return transport.ErrClosed
 	}
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(tag))
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(p)))
-	c.wm.Lock()
-	defer c.wm.Unlock()
-	if _, err := c.c.Write(hdr[:]); err != nil {
-		return fmt.Errorf("tcptransport: rank %d send to %d: %w", e.rank, to, err)
+	if to == e.rank {
+		data := append([]byte(nil), p...)
+		select {
+		case e.loopback <- message{tag: tag, data: data}:
+			return nil
+		case <-e.done:
+			return transport.ErrClosed
+		case <-e.abortedCh:
+			return e.AbortErr()
+		}
 	}
-	if len(p) > 0 {
-		if _, err := c.c.Write(p); err != nil {
-			return fmt.Errorf("tcptransport: rank %d send to %d: %w", e.rank, to, err)
+	fr := dataFrame(tag, p)
+	l := e.links[to]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.failErr == nil && !l.closed && e.AbortErr() == nil &&
+		(l.unackedBytes >= maxUnackedBytes || len(l.unacked) >= maxUnackedFrames) {
+		l.cond.Wait()
+	}
+	if err := e.AbortErr(); err != nil {
+		return err
+	}
+	if l.failErr != nil {
+		return l.failErr
+	}
+	if l.closed {
+		return transport.ErrClosed
+	}
+	l.unacked = append(l.unacked, fr)
+	l.unackedBytes += len(fr)
+	l.sent++
+	if l.c != nil {
+		if err := l.writeLocked(l.c, fr); err != nil {
+			// The frame stays buffered; the reconnect handshake decides
+			// what actually needs retransmitting.
+			l.breakLocked(l.c, err)
 		}
 	}
 	return nil
 }
 
-// Recv reads the next message from rank from.
+// Recv reads the next message from rank from. Buffered messages drain
+// even after the link fails; a receive with nothing buffered fails with
+// the link's fatal error, the abort error, or transport.ErrTimeout after
+// the configured receive timeout.
 func (e *Endpoint) Recv(from int, tag transport.Tag, p []byte) (int, error) {
 	if err := transport.CheckPeer(e.rank, e.size, from); err != nil {
 		return 0, err
 	}
+	if err := e.AbortErr(); err != nil {
+		return 0, err
+	}
+	if e.closed.Load() {
+		return 0, transport.ErrClosed
+	}
 	q := e.loopback
+	down := e.done
 	if from != e.rank {
-		q = e.queues[from]
+		q = e.links[from].queue
+		down = e.links[from].down
 	}
 	var m message
-	var ok bool
-	if e.timeout > 0 {
-		t := time.NewTimer(e.timeout)
-		defer t.Stop()
-		select {
-		case m, ok = <-q:
-		case <-t.C:
-			return 0, fmt.Errorf("tcptransport: rank %d: receive from %d timed out after %v", e.rank, from, e.timeout)
+	select {
+	case m = <-q:
+	default:
+		var timeoutC <-chan time.Time
+		if e.cfg.timeout > 0 {
+			t := time.NewTimer(e.cfg.timeout)
+			defer t.Stop()
+			timeoutC = t.C
 		}
-	} else {
-		m, ok = <-q
-	}
-	if !ok {
-		return 0, fmt.Errorf("tcptransport: rank %d: connection from %d closed: %w", e.rank, from, transport.ErrClosed)
+		select {
+		case m = <-q:
+		case <-down:
+			// Drain anything delivered before the link went down.
+			select {
+			case m = <-q:
+			default:
+				return 0, e.downErr(from)
+			}
+		case <-e.abortedCh:
+			return 0, e.AbortErr()
+		case <-timeoutC:
+			return 0, fmt.Errorf("tcptransport: rank %d: receive from %d: %w after %v", e.rank, from, transport.ErrTimeout, e.cfg.timeout)
+		}
 	}
 	if m.tag != tag {
 		return 0, fmt.Errorf("%w: rank %d expected tag %#x from %d, got %#x",
@@ -122,6 +311,21 @@ func (e *Endpoint) Recv(from int, tag transport.Tag, p []byte) (int, error) {
 	}
 	copy(p, m.data)
 	return len(m.data), nil
+}
+
+// downErr explains a failed source: the link's fatal error, or a plain
+// closed-connection error.
+func (e *Endpoint) downErr(from int) error {
+	if from == e.rank {
+		return transport.ErrClosed
+	}
+	l := e.links[from]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failErr != nil {
+		return l.failErr
+	}
+	return fmt.Errorf("tcptransport: rank %d: connection from %d closed: %w", e.rank, from, transport.ErrClosed)
 }
 
 // SendRecv sends and receives concurrently.
@@ -136,49 +340,574 @@ func (e *Endpoint) SendRecv(to int, stag transport.Tag, sp []byte, from int, rta
 	return n, serr
 }
 
-// Close shuts down every connection. Peers' pending receives fail.
+// Close shuts the endpoint down gracefully: a bye frame tells each live
+// peer the closure is deliberate (so they fail fast with
+// transport.ErrClosed instead of attempting to heal), then every
+// connection and the listener are closed. Peers' pending receives fail.
 func (e *Endpoint) Close() error {
-	e.closeOnce.Do(func() {
-		for _, c := range e.conns {
-			if c != nil {
-				if err := c.c.Close(); err != nil && e.closeErr == nil {
-					e.closeErr = err
-				}
-			}
-		}
-	})
+	e.shutdown(true)
 	return e.closeErr
 }
 
-// reader pumps frames from one peer connection into its queue, closing the
-// queue on connection end.
-func (e *Endpoint) reader(from int, c net.Conn) {
-	defer close(e.queues[from])
-	for {
-		var hdr [8]byte
-		if _, err := io.ReadFull(c, hdr[:]); err != nil {
-			return
+// Kill shuts the endpoint down abruptly — no bye frames, connections and
+// listener just die — simulating a fail-stopped process for fault tests.
+// Peers see an outage, heal-retry, and declare the rank failed after the
+// heal window.
+func (e *Endpoint) Kill() { e.shutdown(false) }
+
+func (e *Endpoint) shutdown(graceful bool) {
+	e.closeOnce.Do(func() {
+		// Send succeeds into the retransmit buffer during an outage, so a
+		// graceful close right after must not tear the endpoint down while
+		// buffered frames are still unwritten — the tail would be lost and
+		// a redialing peer would find the listener gone. Linger until every
+		// mid-outage link has flushed (a live conn implies the whole
+		// buffered suffix was written: install retransmits it), bounded by
+		// the heal window, after which the link is dead anyway. Aborted
+		// worlds skip the linger — there is nothing left worth flushing.
+		if graceful && e.AbortErr() == nil {
+			e.lingerForFlush()
 		}
-		tag := transport.Tag(binary.LittleEndian.Uint32(hdr[0:]))
-		n := binary.LittleEndian.Uint32(hdr[4:])
-		data := make([]byte, n)
-		if _, err := io.ReadFull(c, data); err != nil {
-			return
+		e.closed.Store(true)
+		close(e.done)
+		if e.ln != nil {
+			if err := e.ln.Close(); err != nil && e.closeErr == nil {
+				e.closeErr = err
+			}
 		}
-		e.queues[from] <- message{tag: tag, data: data}
+		// A healthy close says goodbye; a poisoned close relays the abort
+		// instead, so a peer that has not yet seen the original abort frame
+		// still learns the world failed rather than mistaking this for an
+		// orderly shutdown.
+		farewell := []byte{frameBye}
+		if aerr := e.AbortErr(); aerr != nil {
+			farewell = abortFrame(e.rank, aerr)
+		}
+		for _, l := range e.links {
+			if l == nil {
+				continue
+			}
+			l.mu.Lock()
+			if graceful && l.c != nil {
+				l.c.SetWriteDeadline(time.Now().Add(250 * time.Millisecond))
+				l.c.Write(farewell)
+			}
+			l.closed = true
+			if l.c != nil {
+				l.c.Close()
+				l.c = nil
+				l.gen++
+			}
+			if l.healTimer != nil {
+				l.healTimer.Stop()
+				l.healTimer = nil
+			}
+			l.downClose()
+			l.cond.Broadcast()
+			l.mu.Unlock()
+		}
+	})
+}
+
+// lingerForFlush blocks until no link is mid-outage with buffered frames
+// still unwritten (the reconnect either happens — install retransmits the
+// suffix — or the heal window declares the link dead). The kernel delivers
+// frames already written to a live conn after Close; only never-written
+// frames need this wait.
+func (e *Endpoint) lingerForFlush() {
+	deadline := time.Now().Add(e.cfg.healWindow + time.Second)
+	for _, l := range e.links {
+		if l == nil {
+			continue
+		}
+		for {
+			l.mu.Lock()
+			waiting := l.c == nil && len(l.unacked) > 0 && !l.closed && l.failErr == nil
+			l.mu.Unlock()
+			if !waiting || e.AbortErr() != nil || !time.Now().Before(deadline) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
 	}
+}
+
+// BreakConn severs the live connection to peer as if the network dropped
+// it — a fault-injection hook for tests of the healing path. It reports
+// whether a connection existed to break.
+func (e *Endpoint) BreakConn(peer int) bool {
+	if peer < 0 || peer >= e.size || peer == e.rank {
+		return false
+	}
+	l := e.links[peer]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.c == nil {
+		return false
+	}
+	l.breakLocked(l.c, errors.New("tcptransport: connection broken by fault injection"))
+	return true
+}
+
+// downClose closes the link's down channel once.
+func (l *link) downClose() {
+	if !l.downed {
+		l.downed = true
+		close(l.down)
+	}
+}
+
+// writeLocked writes one frame under the link lock with the configured
+// write deadline, bounding how long a dead conn can wedge a writer.
+func (l *link) writeLocked(c net.Conn, fr []byte) error {
+	if wt := l.e.cfg.writeTimeout; wt > 0 {
+		c.SetWriteDeadline(time.Now().Add(wt))
+	}
+	_, err := c.Write(fr)
+	return err
+}
+
+// breakLocked starts an outage for conn c: the conn is dropped, a fail
+// timer bounds the outage at the heal window, and the dialer side starts
+// redialing. Stale calls (c already replaced) are no-ops.
+func (l *link) breakLocked(c net.Conn, cause error) {
+	if c == nil || l.c != c {
+		return
+	}
+	l.c = nil
+	l.gen++
+	c.Close()
+	if l.closed || l.failErr != nil || l.e.closed.Load() || l.e.AbortErr() != nil {
+		return
+	}
+	hw := l.e.cfg.healWindow
+	if hw <= 0 {
+		l.failLocked(fmt.Errorf("tcptransport: rank %d: link to %d down (healing disabled): %w: %v",
+			l.e.rank, l.peer, transport.ErrPeerFailed, cause))
+		return
+	}
+	gen := l.gen
+	if l.healTimer != nil {
+		l.healTimer.Stop()
+	}
+	l.healTimer = time.AfterFunc(hw, func() { l.outageExpired(gen, cause) })
+	if l.peer < l.e.rank && !l.dialing {
+		l.dialing = true
+		go l.redial()
+	}
+}
+
+// outageExpired declares the peer dead when an outage outlives the heal
+// window without a reconnect.
+func (l *link) outageExpired(gen int, cause error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.gen != gen || l.c != nil || l.closed || l.failErr != nil {
+		return
+	}
+	l.failLocked(fmt.Errorf("tcptransport: rank %d: %w: no connection with %d for %v (%w); last error: %v",
+		l.e.rank, transport.ErrPeerFailed, l.peer, l.e.cfg.healWindow, transport.ErrTimeout, cause))
+}
+
+// failLocked marks the link permanently dead.
+func (l *link) failLocked(err error) {
+	if l.failErr != nil || l.closed {
+		return
+	}
+	l.failErr = err
+	if l.c != nil {
+		l.c.Close()
+		l.c = nil
+		l.gen++
+	}
+	if l.healTimer != nil {
+		l.healTimer.Stop()
+		l.healTimer = nil
+	}
+	l.downClose()
+	l.cond.Broadcast()
+}
+
+// redial re-establishes a dropped connection (dialer side) with capped
+// exponential backoff and deterministic jitter, until success, link
+// death, or endpoint shutdown.
+func (l *link) redial() {
+	e := l.e
+	for attempt := 0; ; attempt++ {
+		l.mu.Lock()
+		if l.closed || l.failErr != nil || l.c != nil || e.closed.Load() || e.AbortErr() != nil {
+			l.dialing = false
+			l.mu.Unlock()
+			return
+		}
+		recvd := l.recvd
+		l.mu.Unlock()
+		c, err := net.DialTimeout("tcp", e.addrs[l.peer], dialAttemptTimeout)
+		if err == nil {
+			if herr := e.dialHandshake(l, c, recvd); herr == nil {
+				l.mu.Lock()
+				l.dialing = false
+				l.mu.Unlock()
+				return
+			}
+			c.Close()
+		}
+		t := time.NewTimer(backoff(attempt, e.rank, l.peer))
+		select {
+		case <-e.done:
+			t.Stop()
+			l.mu.Lock()
+			l.dialing = false
+			l.mu.Unlock()
+			return
+		case <-e.abortedCh:
+			t.Stop()
+			l.mu.Lock()
+			l.dialing = false
+			l.mu.Unlock()
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// backoff returns the delay before redial attempt (0-based): 5ms doubling
+// to a 320ms cap, with deterministic jitter in [d/2, d] derived from the
+// pair and attempt so a mesh of redialing ranks does not thunder in step.
+func backoff(attempt, rank, peer int) time.Duration {
+	d := 5 * time.Millisecond << uint(min(attempt, 6))
+	x := uint64(attempt+1)*0x9e3779b97f4a7c15 + uint64(rank+1)*0xbf58476d1ce4e5b9 + uint64(peer+1)*0x94d049bb133111eb
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return d/2 + time.Duration(x%uint64(d/2+1))
+}
+
+// dialHandshake runs the dialer's side of the reconnect handshake: send
+// rank and receive count, read the peer's receive count, install.
+func (e *Endpoint) dialHandshake(l *link, c net.Conn, recvd uint64) error {
+	c.SetDeadline(time.Now().Add(handshakeTimeout))
+	var hello [12]byte
+	binary.LittleEndian.PutUint32(hello[0:], uint32(e.rank))
+	binary.LittleEndian.PutUint64(hello[4:], recvd)
+	if _, err := c.Write(hello[:]); err != nil {
+		return err
+	}
+	var reply [8]byte
+	if _, err := io.ReadFull(c, reply[:]); err != nil {
+		return err
+	}
+	c.SetDeadline(time.Time{})
+	return l.install(c, binary.LittleEndian.Uint64(reply[:]))
+}
+
+// install makes c the link's live conn: the peer's cumulative receive
+// count prunes the retransmit buffer, the remainder is retransmitted, and
+// a reader starts. Returns an error when the link cannot accept a conn
+// (closing, failed) or the retransmit write fails (the caller retries).
+func (l *link) install(c net.Conn, peerRecvd uint64) error {
+	e := l.e
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.failErr != nil || e.closed.Load() || e.AbortErr() != nil {
+		return fmt.Errorf("tcptransport: rank %d: link to %d not accepting connections: %w", e.rank, l.peer, transport.ErrClosed)
+	}
+	if l.c != nil {
+		// A replacement raced a conn we thought healthy (half-open on our
+		// side); the newly handshaken one wins.
+		old := l.c
+		l.c = nil
+		l.gen++
+		old.Close()
+	}
+	if l.healTimer != nil {
+		l.healTimer.Stop()
+		l.healTimer = nil
+	}
+	base := l.sent - uint64(len(l.unacked))
+	if peerRecvd < base {
+		peerRecvd = base // acks are cumulative; a peer cannot regress
+	}
+	if peerRecvd > l.sent {
+		err := fmt.Errorf("tcptransport: rank %d: peer %d acknowledges %d frames, only %d sent: %w",
+			e.rank, l.peer, peerRecvd, l.sent, transport.ErrPeerFailed)
+		l.failLocked(err)
+		return err
+	}
+	for i := 0; i < int(peerRecvd-base); i++ {
+		l.unackedBytes -= len(l.unacked[i])
+		l.unacked[i] = nil
+	}
+	l.unacked = l.unacked[peerRecvd-base:]
+	l.sinceAck, l.sinceAckBytes = 0, 0
+	l.c = c
+	l.gen++
+	if l.est {
+		e.reconnects.Add(1)
+	} else {
+		l.est = true
+		close(l.estCh)
+	}
+	for _, fr := range l.unacked {
+		if err := l.writeLocked(c, fr); err != nil {
+			l.breakLocked(c, err)
+			return err
+		}
+	}
+	l.cond.Broadcast()
+	go e.reader(l, c, l.gen)
+	return nil
+}
+
+// reader pumps frames from one conn into the link. Delivery bookkeeping
+// (receive count, acks, enqueue) happens under the link lock so that a
+// conn replacement can never reorder or double-deliver: a reader whose
+// conn was replaced drops undelivered frames (the peer retransmits them
+// on the new conn, exactly once).
+func (e *Endpoint) reader(l *link, c net.Conn, gen int) {
+	br := bufio.NewReaderSize(c, 64<<10)
+	fail := func(err error) {
+		l.mu.Lock()
+		l.breakLocked(c, err)
+		l.mu.Unlock()
+	}
+	for {
+		kind, err := br.ReadByte()
+		if err != nil {
+			fail(err)
+			return
+		}
+		switch kind {
+		case frameData:
+			var hdr [8]byte
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				fail(err)
+				return
+			}
+			tag := transport.Tag(binary.LittleEndian.Uint32(hdr[0:]))
+			n := binary.LittleEndian.Uint32(hdr[4:])
+			data := make([]byte, n)
+			if _, err := io.ReadFull(br, data); err != nil {
+				fail(err)
+				return
+			}
+			l.mu.Lock()
+			if l.c != c || l.gen != gen {
+				// Replaced mid-frame: this frame is uncounted, so the
+				// peer retransmits it on the new conn.
+				l.mu.Unlock()
+				return
+			}
+			l.recvd++
+			l.sinceAck++
+			l.sinceAckBytes += int(n)
+			if l.sinceAck >= ackEvery || l.sinceAckBytes >= ackBytes {
+				var ab [9]byte
+				ab[0] = frameAck
+				binary.LittleEndian.PutUint64(ab[1:], l.recvd)
+				if err := l.writeLocked(c, ab[:]); err != nil {
+					l.breakLocked(c, err)
+					// The frame was counted, so it must still be
+					// delivered before this reader exits.
+					l.deliverLocked(message{tag: tag, data: data})
+					l.mu.Unlock()
+					return
+				}
+				l.sinceAck, l.sinceAckBytes = 0, 0
+			}
+			l.deliverLocked(message{tag: tag, data: data})
+			l.mu.Unlock()
+		case frameAck:
+			var ab [8]byte
+			if _, err := io.ReadFull(br, ab[:]); err != nil {
+				fail(err)
+				return
+			}
+			seq := binary.LittleEndian.Uint64(ab[:])
+			l.mu.Lock()
+			base := l.sent - uint64(len(l.unacked))
+			if seq > l.sent {
+				seq = l.sent
+			}
+			if seq > base {
+				for i := 0; i < int(seq-base); i++ {
+					l.unackedBytes -= len(l.unacked[i])
+					l.unacked[i] = nil
+				}
+				l.unacked = l.unacked[seq-base:]
+				l.cond.Broadcast()
+			}
+			l.mu.Unlock()
+		case frameAbort:
+			var hdr [8]byte
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				fail(err)
+				return
+			}
+			origin := int(binary.LittleEndian.Uint32(hdr[0:]))
+			n := binary.LittleEndian.Uint32(hdr[4:])
+			reason := make([]byte, n)
+			if _, err := io.ReadFull(br, reason); err != nil {
+				fail(err)
+				return
+			}
+			e.poison(transport.AbortError(origin, string(reason)))
+			return
+		case frameBye:
+			l.mu.Lock()
+			if l.c == c && l.gen == gen {
+				l.failLocked(fmt.Errorf("tcptransport: rank %d: peer %d closed: %w", e.rank, l.peer, transport.ErrClosed))
+			}
+			l.mu.Unlock()
+			return
+		default:
+			fail(fmt.Errorf("tcptransport: rank %d: peer %d sent unknown frame type %#x", e.rank, l.peer, kind))
+			return
+		}
+	}
+}
+
+// deliverLocked enqueues a counted frame while holding the link lock,
+// giving up only on endpoint shutdown or abort (both of which close their
+// channels without needing this lock).
+func (l *link) deliverLocked(m message) {
+	select {
+	case l.queue <- m:
+	default:
+		select {
+		case l.queue <- m:
+		case <-l.e.done:
+		case <-l.e.abortedCh:
+		}
+	}
+}
+
+// acceptLoop accepts reconnecting (and bring-up) peers for the life of
+// the endpoint — the listener stays open so a dropped peer can return.
+func (e *Endpoint) acceptLoop() {
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			select {
+			case <-e.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		go e.handleAccept(c)
+	}
+}
+
+// handleAccept runs the acceptor's side of the handshake: read the
+// dialer's rank and receive count, reply with ours, install. Only higher
+// ranks dial us, mirroring bring-up.
+func (e *Endpoint) handleAccept(c net.Conn) {
+	c.SetDeadline(time.Now().Add(handshakeTimeout))
+	var hello [12]byte
+	if _, err := io.ReadFull(c, hello[:]); err != nil {
+		c.Close()
+		return
+	}
+	peer := int(binary.LittleEndian.Uint32(hello[0:]))
+	peerRecvd := binary.LittleEndian.Uint64(hello[4:])
+	if peer <= e.rank || peer >= e.size {
+		c.Close()
+		return
+	}
+	l := e.links[peer]
+	// Drop any half-open conn first, so the receive count we report can
+	// no longer advance under us.
+	l.mu.Lock()
+	if l.c != nil {
+		old := l.c
+		l.c = nil
+		l.gen++
+		old.Close()
+	}
+	recvd := l.recvd
+	l.mu.Unlock()
+	var reply [8]byte
+	binary.LittleEndian.PutUint64(reply[:], recvd)
+	if _, err := c.Write(reply[:]); err != nil {
+		c.Close()
+		return
+	}
+	c.SetDeadline(time.Time{})
+	if err := l.install(c, peerRecvd); err != nil {
+		c.Close()
+	}
+}
+
+// dataFrame encodes one message frame (also the retransmit buffer entry).
+func dataFrame(tag transport.Tag, p []byte) []byte {
+	fr := make([]byte, 9+len(p))
+	fr[0] = frameData
+	binary.LittleEndian.PutUint32(fr[1:], uint32(tag))
+	binary.LittleEndian.PutUint32(fr[5:], uint32(len(p)))
+	copy(fr[9:], p)
+	return fr
+}
+
+// abortFrame encodes the out-of-band abort broadcast.
+func abortFrame(origin int, reason error) []byte {
+	text := reason.Error()
+	if len(text) > 1<<10 {
+		text = text[:1<<10]
+	}
+	fr := make([]byte, 9+len(text))
+	fr[0] = frameAbort
+	binary.LittleEndian.PutUint32(fr[1:], uint32(origin))
+	binary.LittleEndian.PutUint32(fr[5:], uint32(len(text)))
+	copy(fr[9:], text)
+	return fr
 }
 
 // Option configures world construction.
 type Option func(*config)
 
 type config struct {
-	timeout time.Duration
+	timeout      time.Duration // receive timeout (0 = none)
+	writeTimeout time.Duration // per-frame write deadline
+	healWindow   time.Duration // max outage length before a peer is declared failed
+	dialWindow   time.Duration // bring-up window
 }
 
-// WithRecvTimeout makes receives fail after d (deadlock safety in tests).
+func defaultConfig() config {
+	return config{
+		writeTimeout: 30 * time.Second,
+		healWindow:   10 * time.Second,
+		dialWindow:   5 * time.Second,
+	}
+}
+
+// WithRecvTimeout makes receives fail with an error wrapping
+// transport.ErrTimeout after d (deadlock safety in tests).
 func WithRecvTimeout(d time.Duration) Option {
 	return func(c *config) { c.timeout = d }
+}
+
+// WithWriteTimeout bounds each frame write (default 30s); a conn that
+// cannot accept a frame within it is treated as dropped and healed.
+func WithWriteTimeout(d time.Duration) Option {
+	return func(c *config) { c.writeTimeout = d }
+}
+
+// WithHealWindow bounds how long a link may stay in outage (reconnect
+// attempts continuing throughout) before the peer is declared failed with
+// transport.ErrPeerFailed (default 10s). Zero disables healing: the first
+// connection error is fatal.
+func WithHealWindow(d time.Duration) Option {
+	return func(c *config) { c.healWindow = d }
+}
+
+// WithDialWindow bounds world bring-up (default 5s).
+func WithDialWindow(d time.Duration) Option {
+	return func(c *config) { c.dialWindow = d }
 }
 
 // NewLocalWorld wires p ranks over loopback TCP inside one process and
@@ -186,7 +915,10 @@ func WithRecvTimeout(d time.Duration) Option {
 // used by tests and examples; multi-process deployments use Listen and
 // Connect directly.
 func NewLocalWorld(p int, opts ...Option) ([]*Endpoint, error) {
-	var cfg config
+	if p <= 0 {
+		return nil, fmt.Errorf("tcptransport: world size %d, need at least 1", p)
+	}
+	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -195,6 +927,9 @@ func NewLocalWorld(p int, opts ...Option) ([]*Endpoint, error) {
 	for i := 0; i < p; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
+			for _, ln := range listeners[:i] {
+				ln.Close()
+			}
 			return nil, fmt.Errorf("tcptransport: listen: %w", err)
 		}
 		listeners[i] = l
@@ -213,6 +948,11 @@ func NewLocalWorld(p int, opts ...Option) ([]*Endpoint, error) {
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
+			for _, ep := range eps {
+				if ep != nil {
+					ep.Close()
+				}
+			}
 			return nil, fmt.Errorf("tcptransport: rank %d: %w", i, err)
 		}
 	}
@@ -227,115 +967,52 @@ func Listen(addr string) (net.Listener, error) {
 
 // Connect joins a world of len(addrs) ranks as the given rank, using the
 // provided listener (whose address must equal addrs[rank]). Every rank
-// dials all lower ranks and accepts from all higher ranks.
+// dials all lower ranks and accepts from all higher ranks; the listener
+// stays open for the life of the endpoint so dropped peers can reconnect.
 func Connect(rank int, l net.Listener, addrs []string, opts ...Option) (*Endpoint, error) {
-	var cfg config
+	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
 	return connect(rank, len(addrs), l, addrs, cfg)
 }
 
-func connect(rank, p int, l net.Listener, addrs []string, cfg config) (*Endpoint, error) {
+func connect(rank, p int, ln net.Listener, addrs []string, cfg config) (*Endpoint, error) {
 	e := &Endpoint{
 		rank: rank, size: p,
-		conns:    make([]*conn, p),
-		queues:   make([]chan message, p),
-		loopback: make(chan message, queueDepth),
-		timeout:  cfg.timeout,
+		cfg:       cfg,
+		addrs:     addrs,
+		ln:        ln,
+		links:     make([]*link, p),
+		loopback:  make(chan message, queueDepth),
+		done:      make(chan struct{}),
+		abortedCh: make(chan struct{}),
 	}
-	for i := range e.queues {
-		if i != rank {
-			e.queues[i] = make(chan message, queueDepth)
+	for peer := 0; peer < p; peer++ {
+		if peer != rank {
+			e.links[peer] = newLink(e, peer)
 		}
 	}
-	var mu sync.Mutex
-	var firstErr error
-	var wg sync.WaitGroup
-	// Accept from higher ranks.
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for n := 0; n < p-1-rank; n++ {
-			c, err := l.Accept()
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			var hello [4]byte
-			if _, err := io.ReadFull(c, hello[:]); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			peer := int(binary.LittleEndian.Uint32(hello[:]))
-			if peer <= rank || peer >= p {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("bad hello rank %d", peer)
-				}
-				mu.Unlock()
-				return
-			}
-			e.conns[peer] = &conn{c: c}
-		}
-	}()
-	// Dial lower ranks.
+	go e.acceptLoop()
 	for peer := 0; peer < rank; peer++ {
-		c, err := dialRetry(addrs[peer], 5*time.Second)
-		if err != nil {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = fmt.Errorf("dial %d: %w", peer, err)
-			}
-			mu.Unlock()
-			break
-		}
-		var hello [4]byte
-		binary.LittleEndian.PutUint32(hello[:], uint32(rank))
-		if _, err := c.Write(hello[:]); err != nil {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			mu.Unlock()
-			break
-		}
-		e.conns[peer] = &conn{c: c}
+		l := e.links[peer]
+		l.mu.Lock()
+		l.dialing = true
+		l.mu.Unlock()
+		go l.redial()
 	}
-	wg.Wait()
-	l.Close()
-	if firstErr != nil {
-		e.Close()
-		return nil, firstErr
-	}
-	for peer, c := range e.conns {
-		if c != nil {
-			go e.reader(peer, c.c)
+	deadline := time.Now().Add(cfg.dialWindow)
+	for peer := 0; peer < p; peer++ {
+		if peer == rank {
+			continue
+		}
+		select {
+		case <-e.links[peer].estCh:
+		case <-time.After(time.Until(deadline)):
+			e.Close()
+			return nil, fmt.Errorf("tcptransport: rank %d: bring-up: no connection with %d within %v: %w",
+				rank, peer, cfg.dialWindow, transport.ErrTimeout)
 		}
 	}
 	return e, nil
-}
-
-// dialRetry dials until success or the deadline; peers may not be
-// listening yet during world bring-up.
-func dialRetry(addr string, deadline time.Duration) (net.Conn, error) {
-	var lastErr error
-	limit := time.Now().Add(deadline)
-	for time.Now().Before(limit) {
-		c, err := net.DialTimeout("tcp", addr, time.Second)
-		if err == nil {
-			return c, nil
-		}
-		lastErr = err
-		time.Sleep(10 * time.Millisecond)
-	}
-	return nil, lastErr
 }

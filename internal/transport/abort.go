@@ -1,0 +1,85 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Failure taxonomy shared by every transport. The collective layer and
+// applications test these with errors.Is; each transport wraps them with
+// rank- and link-specific detail.
+var (
+	// ErrTimeout reports an operation that exceeded its deadline — a
+	// receive that outlived the world's receive timeout, or a connection
+	// that could not be re-established within its heal window. Timeouts
+	// are how failures are detected when no out-of-band notification
+	// arrives, so a timeout usually precedes an abort broadcast.
+	ErrTimeout = errors.New("transport: timed out")
+	// ErrPeerFailed reports that another rank of the world failed — it
+	// fail-stopped, its connection died for good, or it originated an
+	// abort. Not retryable: the world has lost a member.
+	ErrPeerFailed = errors.New("transport: peer failed")
+	// ErrAborted reports that the world was aborted out-of-band: some
+	// rank's collective step failed and the failure was propagated so
+	// that no peer blocks until its full receive timeout. Every operation
+	// on an aborted endpoint fails with an error wrapping ErrAborted.
+	ErrAborted = errors.New("transport: aborted")
+)
+
+// Aborter is implemented by endpoints that support bounded-time failure
+// propagation. Abort broadcasts an out-of-band abort to every peer of the
+// world (best effort, on a dedicated control channel outside the
+// collective tag space) and poisons the local endpoint: every pending and
+// future operation returns an error wrapping ErrAborted promptly, instead
+// of blocking until its receive timeout. Abort is idempotent; the first
+// reason wins.
+type Aborter interface {
+	Abort(reason error)
+	// AbortErr returns the poisoning error once the endpoint has been
+	// aborted (locally or by a peer's broadcast), nil otherwise.
+	AbortErr() error
+}
+
+// Abort broadcasts an abort through ep if it supports failure
+// propagation, and is a no-op otherwise. It reports whether the endpoint
+// accepted the abort.
+func Abort(ep Endpoint, reason error) bool {
+	if a, ok := ep.(Aborter); ok {
+		a.Abort(reason)
+		return true
+	}
+	return false
+}
+
+// AbortErr returns ep's poisoning error, or nil when the endpoint is not
+// aborted (or cannot be).
+func AbortErr(ep Endpoint) error {
+	if a, ok := ep.(Aborter); ok {
+		return a.AbortErr()
+	}
+	return nil
+}
+
+// AbortOnError converts a failed collective step into a world abort: the
+// first rank whose step errors broadcasts so that every peer blocked in
+// the same collective returns within the transport's propagation bound
+// rather than waiting out its receive timeout. Errors that already carry
+// ErrAborted are not rebroadcast (they are the propagation). The error is
+// returned unchanged either way.
+func AbortOnError(ep Endpoint, err error) error {
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, ErrAborted) {
+		Abort(ep, err)
+	}
+	return err
+}
+
+// AbortError builds the error every rank of an aborted world observes: it
+// wraps both ErrAborted (the world died out-of-band) and ErrPeerFailed
+// (some member failed), and names the origin rank and cause so the error
+// is diagnosable at any rank.
+func AbortError(origin int, reason string) error {
+	return fmt.Errorf("%w: %w: rank %d: %s", ErrAborted, ErrPeerFailed, origin, reason)
+}

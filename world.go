@@ -2,12 +2,38 @@ package icc
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/chantransport"
 	"repro/internal/model"
 	"repro/internal/simnet"
+	"repro/internal/tcptransport"
 )
+
+// DefaultRecvTimeout bounds every point-to-point receive of a world whose
+// construction does not say otherwise (WithRecvTimeout): long enough that
+// no healthy collective ever trips it, short enough that a wedged world —
+// a deadlocked schedule, a silently dead peer — fails in bounded time
+// instead of hanging. The abort broadcast normally propagates failures in
+// milliseconds; this timeout is the backstop detector for failures nobody
+// observed directly.
+const DefaultRecvTimeout = 30 * time.Second
+
+// worldRecvTimeout resolves the receive timeout a set of communicator
+// options asks for, by applying them to a probe: world options and
+// communicator options share one Option type, so the world constructors
+// must extract their part before building the transport.
+func worldRecvTimeout(opts []Option) time.Duration {
+	var probe Comm
+	for _, o := range opts {
+		o(&probe)
+	}
+	if probe.recvTimeout > 0 {
+		return probe.recvTimeout
+	}
+	return DefaultRecvTimeout
+}
 
 // World runs SPMD programs over an in-process channel transport — the
 // default functional substrate. Each rank is a goroutine.
@@ -21,7 +47,7 @@ type World struct {
 // applied to every rank's communicator. An invalid size (p < 1) is
 // reported by Run rather than panicking at construction.
 func NewChannelWorld(p int, opts ...Option) *World {
-	w, err := chantransport.NewWorld(p, chantransport.WithRecvTimeout(2*time.Minute))
+	w, err := chantransport.NewWorld(p, chantransport.WithRecvTimeout(worldRecvTimeout(opts)))
 	return &World{w: w, opts: opts, err: err}
 }
 
@@ -38,6 +64,59 @@ func (w *World) Run(fn func(c *Comm) error) error {
 		}
 		return fn(c)
 	})
+}
+
+// TCPWorld runs SPMD programs over loopback TCP sockets inside one
+// process — the sockets substrate under test conditions. Each rank is a
+// goroutine owning one endpoint of a tcptransport mesh, so programs see
+// real connection failures, reconnects and abort frames. Multi-process
+// deployments use tcptransport.Listen/Connect directly.
+type TCPWorld struct {
+	p    int
+	opts []Option
+}
+
+// NewTCPWorld creates a p-rank loopback TCP world. The options are
+// applied to every rank's communicator; WithRecvTimeout configures the
+// transport's receive timeout (DefaultRecvTimeout otherwise).
+func NewTCPWorld(p int, opts ...Option) *TCPWorld {
+	return &TCPWorld{p: p, opts: opts}
+}
+
+// Run builds the TCP mesh, executes fn once per rank, closes every
+// endpoint, and returns the first error by rank.
+func (w *TCPWorld) Run(fn func(c *Comm) error) error {
+	eps, err := tcptransport.NewLocalWorld(w.p, tcptransport.WithRecvTimeout(worldRecvTimeout(w.opts)))
+	if err != nil {
+		return err
+	}
+	errs := make([]error, w.p)
+	var wg sync.WaitGroup
+	for r := 0; r < w.p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer eps[r].Close()
+			defer func() {
+				if v := recover(); v != nil {
+					errs[r] = fmt.Errorf("panic: %v", v)
+				}
+			}()
+			c, cerr := New(eps[r], w.opts...)
+			if cerr != nil {
+				errs[r] = cerr
+				return
+			}
+			errs[r] = fn(c)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return nil
 }
 
 // SimResult reports a simulated run's virtual-time statistics.
