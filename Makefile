@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet fmtcheck test race chaos bench benchall sweep hiersweep
+.PHONY: verify build vet fmtcheck test race chaos guidelines calibrate bench benchall sweep hiersweep
 
-verify: build vet fmtcheck test race chaos
+verify: build vet fmtcheck test race chaos guidelines-short
 
 vet:
 	$(GO) vet ./...
@@ -36,15 +36,35 @@ chaos:
 		-run 'TestChaos|TestFailStop|TestAbortPoisons|TestSendFailure|TestZeroBudget|TestDisarmed|TestReconnect|TestCollectiveThroughReconnect|TestDeadPeer|TestBrokenThenClosed' \
 		. ./internal/core ./internal/faultnet ./internal/tcptransport
 
+# guidelines-short is the verify-time slice of the performance-guidelines
+# gate: the simnet sweep only (deterministic virtual time; the wall-clock
+# chan sweep skips itself under -short).
+.PHONY: guidelines-short
+guidelines-short:
+	$(GO) test -short -count=1 -run 'TestGuidelines' ./internal/harness
+
+# guidelines runs the full Hunold-style invariant sweep (composition
+# dominance, length/rank monotonicity, auto-envelope) on simnet and chan
+# and exits non-zero on any violation.
+guidelines:
+	$(GO) run ./cmd/guidelines
+
+# calibrate probes the chan transport and writes a reusable machine
+# profile; load it with icc.WithProfile or planexplore -profile.
+calibrate:
+	$(GO) run ./cmd/calibrate -transport chan -p 8 -o profile.json
+
 # bench runs the plan-amortization benchmarks (persistent versus one-shot
 # all-reduce, plan-cache lookup), the hierarchical detour-pool allocs/op
-# benchmark, and the simulated flat / 2-level / 3-level comparison at 64
-# and 256 ranks, recording everything in BENCH_7.json via cmd/benchjson.
+# benchmark, the calibrated-versus-default planner benchmark on live
+# transports, and the simulated flat / 2-level / 3-level comparison at 64
+# and 256 ranks, recording everything in BENCH_9.json via cmd/benchjson
+# and gating against the prior BENCH_7.json report.
 bench:
-	( $(GO) test -run XXX -bench 'PersistentAllReduce|OneShotAllReduce|PlanCache|HierCollectDeep' \
+	( $(GO) test -run XXX -bench 'PersistentAllReduce|OneShotAllReduce|PlanCache|HierCollectDeep|CalibratedPlanner' \
 		-benchmem -count=1 . ; \
 	  $(GO) test -run XXX -bench TreeCollective -benchtime 1x -count=1 ./internal/harness ) \
-		| $(GO) run ./cmd/benchjson -o BENCH_7.json
+		| $(GO) run ./cmd/benchjson -o BENCH_9.json -compare BENCH_7.json
 
 # benchall touches every benchmark once (a smoke pass, not a measurement).
 benchall:

@@ -7,6 +7,14 @@
 // BenchmarkPersistentX/… and BenchmarkOneShotX/….
 //
 // Usage: go test -bench ... -benchmem | benchjson -o BENCH_6.json
+//
+// With -compare OLD.json the new results are additionally diffed against a
+// prior report: benchmarks present in both files are compared on ns/op and
+// allocs/op, and the process exits non-zero when any regression exceeds
+// the thresholds (-max-ns-ratio, -max-allocs-ratio) — the perf trajectory
+// as an enforceable gate, not just a record. The ns threshold is generous
+// by default because BENCH files may come from different machines; the
+// allocs threshold is tight because allocation counts are deterministic.
 package main
 
 import (
@@ -123,8 +131,52 @@ func buildReport(results []benchResult) report {
 	return rep
 }
 
+// compareReports diffs the new results against a prior report file on the
+// benchmarks both contain, returning one line per compared benchmark and
+// the subset that regressed past the thresholds.
+func compareReports(results []benchResult, oldPath string, maxNsRatio, maxAllocsRatio float64) (lines, regressions []string, err error) {
+	data, err := os.ReadFile(oldPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	var old report
+	if err := json.Unmarshal(data, &old); err != nil {
+		return nil, nil, fmt.Errorf("parse %s: %w", oldPath, err)
+	}
+	prev := map[string]benchResult{}
+	for _, r := range old.Benchmarks {
+		prev[r.Name] = r
+	}
+	for _, r := range results {
+		o, ok := prev[r.Name]
+		if !ok {
+			continue
+		}
+		for _, m := range []struct {
+			metric string
+			limit  float64
+		}{{"ns/op", maxNsRatio}, {"allocs/op", maxAllocsRatio}} {
+			nv, ok1 := r.Metrics[m.metric]
+			ov, ok2 := o.Metrics[m.metric]
+			if !ok1 || !ok2 || ov <= 0 {
+				continue
+			}
+			ratio := nv / ov
+			line := fmt.Sprintf("%-60s %-10s %12.4g -> %12.4g  (%.2fx)", r.Name, m.metric, ov, nv, ratio)
+			lines = append(lines, line)
+			if ratio > m.limit {
+				regressions = append(regressions, fmt.Sprintf("%s %s regressed %.2fx (limit %.2fx)", r.Name, m.metric, ratio, m.limit))
+			}
+		}
+	}
+	return lines, regressions, nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_6.json", "output JSON path")
+	comparePath := flag.String("compare", "", "prior BENCH json to diff against; exit non-zero past thresholds")
+	maxNsRatio := flag.Float64("max-ns-ratio", 2.0, "max allowed new/old ns/op ratio in -compare mode")
+	maxAllocsRatio := flag.Float64("max-allocs-ratio", 1.25, "max allowed new/old allocs/op ratio in -compare mode")
 	flag.Parse()
 
 	var results []benchResult
@@ -155,4 +207,21 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(results))
+	if *comparePath != "" {
+		lines, regressions, err := compareReports(results, *comparePath, *maxNsRatio, *maxAllocsRatio)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: compare: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: compared against %s (%d metrics in common)\n", *comparePath, len(lines))
+		for _, l := range lines {
+			fmt.Fprintln(os.Stderr, "  "+l)
+		}
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION: %s\n", r)
+		}
+		if len(regressions) > 0 {
+			os.Exit(1)
+		}
+	}
 }

@@ -1,0 +1,197 @@
+// Command calibrate emits and inspects machine profiles — the measured
+// α/β constants that replace the planner's built-in guesses (§7.1, §11:
+// retuning iCC for a new machine means entering a handful of measured
+// numbers; this tool measures them).
+//
+// Run mode probes a live transport and writes a JSON profile:
+//
+//	go run ./cmd/calibrate -transport chan -p 8 -o chan.json
+//	go run ./cmd/calibrate -transport tcp -p 4 -o tcp.json
+//	go run ./cmd/calibrate -transport simnet -alpha 100e-6 -beta 12.5e-9 -o sim.json
+//	go run ./cmd/calibrate -transport simnet -clusters 4 -percluster 4 -o hier.json
+//
+// Inspect mode prints a saved profile and shows how its planner picks
+// diverge from the default constants:
+//
+//	go run ./cmd/calibrate -inspect chan.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"sync"
+
+	icc "repro"
+	"repro/internal/group"
+	"repro/internal/harness"
+	"repro/internal/model"
+)
+
+func parseSizes(csv string) ([]int, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	transport := flag.String("transport", "chan", "substrate to probe: chan, tcp, simnet")
+	p := flag.Int("p", 8, "world size")
+	sizes := flag.String("sizes", "", "comma-separated probe sizes in bytes (default 64,1024,8192,65536,262144)")
+	reps := flag.Int("reps", 0, "timed rounds per size (default 7)")
+	burst := flag.Int("burst", 0, "eager-sweep burst length (default 8)")
+	out := flag.String("o", "profile.json", "output profile path")
+	alpha := flag.Float64("alpha", 100e-6, "simnet: true α seconds")
+	beta := flag.Float64("beta", 12.5e-9, "simnet: true β seconds/byte")
+	clusters := flag.Int("clusters", 0, "simnet: cluster count (0 = flat); probes per-level constants")
+	perCluster := flag.Int("percluster", 4, "simnet: ranks per cluster")
+	inspect := flag.String("inspect", "", "print a saved profile instead of probing")
+	flag.Parse()
+
+	if *inspect != "" {
+		inspectProfile(*inspect)
+		return
+	}
+
+	sz, err := parseSizes(*sizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := icc.CalibrateOptions{Sizes: sz, Reps: *reps, Burst: *burst}
+
+	var mu sync.Mutex
+	var prof *icc.Profile
+	keep := func(c *icc.Comm, pr *icc.Profile) {
+		if c.Rank() == 0 {
+			mu.Lock()
+			prof = pr
+			mu.Unlock()
+		}
+	}
+	run := func(c *icc.Comm) error {
+		pr, err := icc.Calibrate(c, opts)
+		if err != nil {
+			return err
+		}
+		keep(c, pr)
+		return nil
+	}
+	switch *transport {
+	case "chan":
+		err = icc.NewChannelWorld(*p).Run(run)
+	case "tcp":
+		err = icc.NewTCPWorld(*p).Run(run)
+	case "simnet":
+		m := icc.Machine{Alpha: *alpha, Beta: *beta, LinkExcess: 1}
+		if *clusters > 0 {
+			global := icc.Machine{Alpha: *alpha * 10, Beta: *beta * 10, LinkExcess: 1}
+			_, err = icc.SimulateClusters(*clusters, *perCluster, m, global, true, func(c *icc.Comm) error {
+				cc, cerr := c.WithClustersBySize(*perCluster)
+				if cerr != nil {
+					return cerr
+				}
+				pr, cerr := icc.Calibrate(cc, opts)
+				if cerr != nil {
+					return cerr
+				}
+				keep(cc, pr)
+				return nil
+			})
+		} else {
+			_, err = icc.SimulateMesh(1, *p, m, true, run)
+		}
+	default:
+		log.Fatalf("unknown -transport %q", *transport)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := prof.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s — %s\n", *out, prof.Provenance())
+	printProfile(prof)
+}
+
+func printProfile(p *icc.Profile) {
+	fmt.Printf("  machine: α=%.4gs  β=%.4gs/B (%.3g MB/s)  γ=%.3gs/B  δ=%.3gs  link-excess=%.3g\n",
+		p.Machine.Alpha, p.Machine.Beta, 1/p.Machine.Beta/1e6,
+		p.Machine.Gamma, p.Machine.StepOverhead, p.Machine.LinkExcess)
+	if p.Bounds != nil {
+		b := p.Bounds
+		fmt.Printf("  fit: %d samples over %d..%d bytes, R²=%.6f, se(α)=%.3g, se(β)=%.3g",
+			b.Samples, b.MinBytes, b.MaxBytes, b.R2, b.AlphaStderr, b.BetaStderr)
+		if b.EagerBeta > 0 {
+			fmt.Printf(", streaming β=%.4g", b.EagerBeta)
+		}
+		fmt.Println()
+	}
+	for i, lv := range p.Levels {
+		label := lv.Label
+		if label == "" {
+			if i == len(p.Levels)-1 {
+				label = "deepest blocks"
+			} else {
+				label = fmt.Sprintf("crossing level %d", i)
+			}
+		}
+		fmt.Printf("  level %d (%s): α=%.4gs  β=%.4gs/B\n", i, label, lv.Machine.Alpha, lv.Machine.Beta)
+	}
+}
+
+// inspectProfile prints a saved profile and compares its planner picks
+// with the default-constants picks over a length sweep, so the operator
+// sees exactly where calibration moves the crossovers.
+func inspectProfile(path string) {
+	p, err := model.LoadProfile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s — %s\n", path, p.Provenance())
+	if p.Note != "" {
+		fmt.Printf("  note: %s\n", p.Note)
+	}
+	printProfile(p)
+
+	const ranks = 16
+	layout := group.Linear(ranks)
+	calPl := model.NewPlanner(p.Machine)
+	calPl.SetProvenance(fmt.Sprintf("profile %s: %s", path, p.Provenance()))
+	defPl := model.NewPlanner(model.ParagonLike())
+	defPl.SetProvenance("default ParagonLike")
+
+	tab := harness.Table{
+		Title:  fmt.Sprintf("planner picks, p=%d linear: %s vs %s", ranks, calPl.Provenance(), defPl.Provenance()),
+		Header: []string{"collective", "bytes", "calibrated pick", "default pick", "moved"},
+	}
+	colls := []struct {
+		name string
+		c    model.Collective
+	}{
+		{"bcast", model.Bcast}, {"allreduce", model.AllReduce},
+		{"collect", model.Collect}, {"alltoall", model.AllToAll},
+	}
+	for _, cl := range colls {
+		for _, n := range []int{256, 4096, 65536, 1 << 20} {
+			cs, _ := calPl.Best(cl.c, layout, n)
+			ds, _ := defPl.Best(cl.c, layout, n)
+			moved := ""
+			if cs.String() != ds.String() {
+				moved = "*"
+			}
+			tab.Rows = append(tab.Rows, []string{cl.name, fmt.Sprint(n), cs.String(), ds.String(), moved})
+		}
+	}
+	fmt.Println(tab)
+}

@@ -1,0 +1,95 @@
+// Command guidelines runs the performance-guidelines gate (Hunold et al.,
+// PAPERS.md) over the live executors and reports every rule: composition
+// dominance (AllReduce ≤ Reduce+Bcast, Scatter ≤ Bcast, …), monotonicity
+// in message length and rank count, and the §7.1 envelope claim
+// (auto ≤ min(short, long)). It exits non-zero on any violation, so it
+// doubles as a CI gate.
+//
+// Usage:
+//
+//	go run ./cmd/guidelines                      # simnet + chan defaults
+//	go run ./cmd/guidelines -transport simnet -p 8 -p2 16
+//	go run ./cmd/guidelines -transport chan -reps 9 -json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	transport := flag.String("transport", "both", "transport to sweep: both, simnet, chan")
+	p := flag.Int("p", 0, "primary group size (0 = transport default)")
+	p2 := flag.Int("p2", 0, "second group size for rank-monotonicity (0 = transport default)")
+	lengths := flag.String("lengths", "", "comma-separated vector lengths in bytes (empty = transport default)")
+	reps := flag.Int("reps", 0, "repetitions per wall-clock measurement (0 = default)")
+	jsonOut := flag.Bool("json", false, "emit tables as JSON")
+	flag.Parse()
+
+	var transports []string
+	switch *transport {
+	case "both":
+		transports = []string{"simnet", "chan"}
+	case "simnet", "chan":
+		transports = []string{*transport}
+	default:
+		log.Fatalf("unknown -transport %q", *transport)
+	}
+
+	var ls []int
+	if *lengths != "" {
+		for _, f := range strings.Split(*lengths, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				log.Fatalf("bad length %q", f)
+			}
+			ls = append(ls, v)
+		}
+	}
+
+	violations := 0
+	var tables []harness.Table
+	for _, tr := range transports {
+		cfg := harness.DefaultGuidelinesConfig(tr)
+		if *p != 0 {
+			cfg.P = *p
+		}
+		if *p2 != 0 {
+			cfg.P2 = *p2
+		}
+		if len(ls) != 0 {
+			cfg.Lengths = ls
+		}
+		if *reps != 0 {
+			cfg.Reps = *reps
+		}
+		g, err := harness.RunGuidelines(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		violations += len(g.Violations)
+		tables = append(tables, g.Tables()...)
+	}
+
+	if *jsonOut {
+		s, err := harness.TablesJSON(tables)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(s)
+	} else {
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "guidelines: %d violations\n", violations)
+		os.Exit(1)
+	}
+}

@@ -9,6 +9,12 @@
 //
 //	go run ./cmd/planexplore -op bcast -rows 1 -cols 30 -bytes 65536 -top 10
 //	go run ./cmd/planexplore -op allreduce -rows 16 -cols 32 -bytes 1048576
+//	go run ./cmd/planexplore -op bcast -cols 16 -profile chan.json
+//
+// With -profile the ranking is priced by a calibrated machine saved by
+// cmd/calibrate instead of the built-in ParagonLike guesses; the title
+// reports which machine priced the candidates, so a mis-calibrated run is
+// diagnosable at a glance.
 package main
 
 import (
@@ -27,6 +33,7 @@ func main() {
 	cols := flag.Int("cols", 30, "mesh columns")
 	bytes := flag.Int("bytes", 65536, "vector length in bytes")
 	top := flag.Int("top", 12, "show the top-k candidates (0 = all)")
+	profile := flag.String("profile", "", "price with a calibrated profile (cmd/calibrate output) instead of the default machine")
 	flag.Parse()
 
 	colls := map[string]model.Collective{
@@ -40,7 +47,17 @@ func main() {
 		log.Fatalf("unknown -op %q", *opName)
 	}
 	m := model.ParagonLike()
+	provenance := "default ParagonLike"
+	if *profile != "" {
+		p, err := model.LoadProfile(*profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m = p.Machine
+		provenance = fmt.Sprintf("profile %s: %s", *profile, p.Provenance())
+	}
 	pl := model.NewPlanner(m)
+	pl.SetProvenance(provenance)
 	var layout group.Layout
 	if *rows == 1 {
 		layout = group.Linear(*cols)
@@ -53,6 +70,7 @@ func main() {
 		Title: fmt.Sprintf("planner ranking: %v of %d bytes on %v (α=%.0fµs, 1/β=%.0fMB/s, δ=%.0fµs)",
 			coll, *bytes, layout, m.Alpha*1e6, 1/m.Beta/1e6, m.StepOverhead*1e6),
 		Header: []string{"#", "shape", "cost (s)", "a (α)", "d (δ)", "b (·nβ)", "g (·nγ)"},
+		Notes:  []string{"machine: " + pl.Provenance()},
 	}
 	for i, r := range ranked {
 		tab.Rows = append(tab.Rows, []string{

@@ -60,6 +60,13 @@ type Comm struct {
 	layout  group.Layout
 	mach    model.Machine
 	hasMach bool
+	// machProv names where mach came from — "default ParagonLike",
+	// "transport-declared", "WithMachine", "calibrated (tcp), fitted …" —
+	// stamped onto the planner so Explain can report it.
+	machProv string
+	// optErr defers an option's construction failure (e.g. WithProfile on
+	// an unreadable path) to New, since Option funcs cannot return errors.
+	optErr  error
 	planner *model.Planner
 	alg     Alg
 	// ctxID is this communicator's tag namespace, assigned at creation
@@ -129,7 +136,7 @@ type Option func(*Comm)
 // selection (and, on virtual-time transports, γ and per-stage accounting).
 // Simulated endpoints supply their machine automatically.
 func WithMachine(m Machine) Option {
-	return func(c *Comm) { c.mach, c.hasMach = m, true }
+	return func(c *Comm) { c.mach, c.hasMach, c.machProv = m, true, "WithMachine" }
 }
 
 // WithMesh declares that the endpoint's world is an rows×cols physical
@@ -197,7 +204,7 @@ func New(ep transport.Endpoint, opts ...Option) (*Comm, error) {
 	}
 	c.ctxID = c.seq.Add(1) & 0x7f
 	if mp, ok := ep.(interface{ Machine() model.Machine }); ok {
-		c.mach, c.hasMach = mp.Machine(), true
+		c.mach, c.hasMach, c.machProv = mp.Machine(), true, "transport-declared"
 	}
 	if tp, ok := ep.(interface{ TwoLevel() model.TwoLevel }); ok {
 		c.tl, c.hasTL = tp.TwoLevel(), true
@@ -208,11 +215,15 @@ func New(ep transport.Endpoint, opts ...Option) (*Comm, error) {
 	for _, o := range opts {
 		o(c)
 	}
+	if c.optErr != nil {
+		return nil, c.optErr
+	}
 	if c.layout.P() != ep.Size() {
 		return nil, fmt.Errorf("icc: layout %v does not span world of %d", c.layout, ep.Size())
 	}
 	if !c.hasMach {
 		c.mach = model.ParagonLike()
+		c.machProv = "default ParagonLike"
 	}
 	if c.hasHier {
 		if err := c.hier.Validate(); err != nil {
@@ -220,6 +231,7 @@ func New(ep transport.Endpoint, opts ...Option) (*Comm, error) {
 		}
 	}
 	c.planner = model.NewPlanner(c.mach)
+	c.planner.SetProvenance(c.machProv)
 	return c, nil
 }
 
@@ -237,6 +249,12 @@ func (c *Comm) Layout() group.Layout { return c.layout }
 
 // MachineModel returns the machine parameters used for planning.
 func (c *Comm) MachineModel() Machine { return c.mach }
+
+// MachineProvenance reports where the planning constants came from:
+// "default ParagonLike", "transport-declared", "WithMachine", or a
+// calibration record like "calibrated (tcp), fitted 2026-08-08" /
+// "profile cal.json: calibrated (chan), fitted 2026-08-08".
+func (c *Comm) MachineProvenance() string { return c.planner.Provenance() }
 
 // PlannerCalls returns how many shape resolutions this communicator's
 // planner has performed — the cost the shape memo and plan cache amortize.

@@ -226,6 +226,44 @@
 // endpoint, used by the failure, chaos and acceptance suites; `make
 // chaos` runs them under the race detector.
 //
+// # Calibration and performance guidelines
+//
+// The planner prices candidate schedules with the α/β/γ machine
+// constants; by default these are the paper's Paragon-like guesses. The
+// paper's §11 position is that retuning for a new machine means entering
+// a handful of measured numbers — Calibrate measures them. It is a
+// collective: every rank of the world calls it, rank 0 runs ping-pong
+// probes (round trips over a geometric length sweep, least-squares fit
+// for α and β) and an eager burst sweep (streaming bandwidth, which
+// replaces β on pipelining transports), then broadcasts the fitted
+// Profile to all ranks. On a hierarchical topology it probes each level
+// separately, so the per-level machines feed hierarchy-aware planning.
+//
+//	prof, err := icc.Calibrate(c, icc.CalibrateOptions{})
+//	// prof.Save("chan.json") — later:
+//	world := icc.NewChannelWorld(8, icc.WithProfile("chan.json"))
+//	// or, with the profile in hand:
+//	world  = icc.NewChannelWorld(8, icc.WithCalibration(prof))
+//
+// Comm.MachineProvenance reports which constants are planning ("default
+// ParagonLike", "calibrated (chan), fitted ...", "profile chan.json:
+// ..."), and the same string is stamped on every Explain ranking, so a
+// surprising pick is always traceable to the machine that priced it.
+// cmd/calibrate emits and inspects profiles; cmd/planexplore -profile
+// prices its rankings with one.
+//
+// The inverse direction — checking that the planner's choices behave
+// like a performance model says they must — is the performance-
+// guidelines gate (internal/harness, cmd/guidelines), after Hunold's
+// self-consistent performance guidelines: composition dominance
+// (AllReduce must not cost more than Reduce then Bcast, Scatter no more
+// than Bcast, and so on), monotonicity in message length and in rank
+// count, and the §7.1 envelope claim that the auto policy is never
+// worse than the short- or long-vector algorithm it chooses between.
+// The sweep runs on simnet (deterministic virtual time, tight
+// tolerances) and on the chan transport (wall clock, loose tolerances),
+// and `make verify` runs the simnet slice on every change.
+//
 // # Quick start
 //
 //	world := icc.NewChannelWorld(8)

@@ -45,6 +45,7 @@ func (c *Comm) Sub(ranks []int) (*Comm, error) {
 		layout:    sub,
 		mach:      c.mach,
 		hasMach:   c.hasMach,
+		machProv:  c.machProv,
 		planner:   c.planner,
 		alg:       c.alg,
 		seq:       c.seq,
@@ -107,6 +108,7 @@ func (c *Comm) withClusterAssignment(assign []int) (*Comm, error) {
 		layout:      c.layout,
 		mach:        c.mach,
 		hasMach:     c.hasMach,
+		machProv:    c.machProv,
 		planner:     c.planner,
 		alg:         c.alg,
 		seq:         c.seq,
@@ -121,6 +123,7 @@ func (c *Comm) withClusterAssignment(assign []int) (*Comm, error) {
 		clContig:    cl.Contiguous(),
 	}
 	s.gplanner = model.NewPlanner(s.coarsest())
+	s.gplanner.SetProvenance(c.machProv + " (coarsest level)")
 	s.ctxID = c.seq.Add(1) & 0x7f
 	return s, nil
 }

@@ -1,0 +1,495 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	icc "repro"
+	"repro/internal/model"
+)
+
+// Performance-guidelines gate (Hunold et al., PAPERS.md): a collective
+// library's specialized schedules must dominate the compositions they
+// replace — AllReduce may not lose to Reduce+Bcast, Scatter may not lose
+// to Bcast — and times must be monotone in message length and rank count.
+// These are machine-checkable invariants over the *measured* executors,
+// not the model: any planning regression (a miscalibrated machine, a
+// broken crossover) shows up as a guideline violation. RunGuidelines
+// sweeps every public collective on a live transport and evaluates the
+// rule set with tolerance bands; guidelines_test.go wires it into the
+// tier-1 gate and cmd/guidelines prints the report.
+
+// GuidelinesConfig parameterizes a guidelines sweep.
+type GuidelinesConfig struct {
+	// Transport is "simnet" (virtual-time, deterministic) or "chan"
+	// (in-process goroutines, wall-clock).
+	Transport string
+	// P and P2 are the two group sizes; rank-monotonicity compares them
+	// (P2 = 0 skips rank checks). P should divide P2.
+	P, P2 int
+	// Lengths are total vector bytes per collective, normalized up to a
+	// multiple of lcm(P, P2) so per-rank blocks stay equal.
+	Lengths []int
+	// Reps per measurement on wall-clock transports; the minimum is kept.
+	Reps int
+	// A guideline lhs ≤ rhs passes when lhs ≤ rhs·(1+TolRel) + TolAbs.
+	// Virtual-time sweeps use a tight relative band; wall-clock sweeps add
+	// an absolute floor that absorbs scheduler noise.
+	TolRel, TolAbs float64
+	// Machine is the simulated wire machine (simnet only).
+	Machine model.Machine
+	// Planning, when set, overrides the machine the planner prices shapes
+	// with — while the network keeps charging Machine. The deliberate
+	// mis-calibration knob behind the corruption meta-test.
+	Planning *model.Machine
+	// Envelope additionally checks auto ≤ min(short, long) per shape-driven
+	// collective — the §7.1 envelope claim as a measured invariant.
+	Envelope bool
+}
+
+// DefaultGuidelinesConfig returns the standing configuration for a
+// transport: deterministic and tight on simnet, generous on wall-clock
+// chan where CI scheduling noise is real.
+func DefaultGuidelinesConfig(transport string) GuidelinesConfig {
+	switch transport {
+	case "chan":
+		return GuidelinesConfig{
+			Transport: "chan",
+			P:         4, P2: 8,
+			Lengths: []int{2048, 65536},
+			Reps:    5,
+			TolRel:  1.0, TolAbs: 2e-3,
+		}
+	default:
+		return GuidelinesConfig{
+			Transport: "simnet",
+			P:         8, P2: 16,
+			Lengths:  []int{256, 16384, 262144},
+			Reps:     1,
+			TolRel:   0.08,
+			Machine:  model.ParagonLike(),
+			Envelope: true,
+		}
+	}
+}
+
+// guidelineColls is every public collective, the 13 rows of the gate.
+var guidelineColls = []string{
+	"bcast", "reduce", "allreduce", "scatter", "gather", "collect",
+	"reducescatter", "alltoall", "scatterv", "gatherv", "collectv",
+	"alltoallv", "barrier",
+}
+
+// envelopeColls are the shape-driven collectives with distinct short/long
+// executors.
+var envelopeColls = []string{
+	"bcast", "reduce", "allreduce", "scatter", "gather", "collect",
+	"reducescatter", "alltoall",
+}
+
+// compositions are the dominance rules: the specialized lhs may not lose
+// to the rhs composition (or the rhs collective that subsumes it).
+// alltoall's rhs is the always-pairwise alltoallv, which catches a
+// miscalibrated Bruck/pairwise crossover. Hunold's "gather ≤ allgather"
+// is deliberately absent: it presumes gather may run the allgather
+// schedule and discard, but this menu's gather is MST-only and pays the
+// per-step recursion overhead δ that collect's bucket-staged hybrids
+// avoid, so at short lengths gather measurably (and by the model,
+// exactly) trails collect by a few δ — a menu property, not a planning
+// regression, hence not a useful gate.
+var compositions = []struct {
+	name string
+	lhs  string
+	rhs  []string
+}{
+	{"allreduce ≤ reduce+bcast", "allreduce", []string{"reduce", "bcast"}},
+	{"bcast ≤ scatter+collect", "bcast", []string{"scatter", "collect"}},
+	{"collect ≤ gather+bcast", "collect", []string{"gather", "bcast"}},
+	{"reducescatter ≤ reduce+scatter", "reducescatter", []string{"reduce", "scatter"}},
+	{"scatter ≤ bcast", "scatter", []string{"bcast"}},
+	{"reduce ≤ allreduce", "reduce", []string{"allreduce"}},
+	{"alltoall ≤ alltoallv", "alltoall", []string{"alltoallv"}},
+}
+
+// TimeKey indexes one guideline measurement.
+type TimeKey struct {
+	P, N int
+	Coll string
+	Alg  string // "auto", "short", "long"
+}
+
+// Violation is one failed guideline.
+type Violation struct {
+	Rule   string
+	Coll   string
+	P, N   int
+	Lhs    float64
+	Rhs    float64
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s p=%d n=%d: %.4g > %.4g (%s)",
+		v.Rule, v.Coll, v.P, v.N, v.Lhs, v.Rhs, v.Detail)
+}
+
+// Guidelines is the result of one sweep.
+type Guidelines struct {
+	Config     GuidelinesConfig
+	Times      map[TimeKey]float64
+	Violations []Violation
+	Checks     int
+}
+
+// RunGuidelines measures every collective on the configured transport and
+// evaluates the guideline rule set. Zero config fields are filled from
+// DefaultGuidelinesConfig(cfg.Transport).
+func RunGuidelines(cfg GuidelinesConfig) (*Guidelines, error) {
+	def := DefaultGuidelinesConfig(cfg.Transport)
+	cfg.Transport = def.Transport
+	if cfg.P == 0 {
+		cfg.P = def.P
+	}
+	if cfg.P2 == 0 && cfg.P == def.P {
+		cfg.P2 = def.P2
+	}
+	if len(cfg.Lengths) == 0 {
+		cfg.Lengths = def.Lengths
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = def.Reps
+	}
+	if cfg.TolRel == 0 {
+		cfg.TolRel = def.TolRel
+	}
+	if cfg.TolAbs == 0 {
+		cfg.TolAbs = def.TolAbs
+	}
+	if cfg.Transport == "simnet" && cfg.Machine == (model.Machine{}) {
+		cfg.Machine = def.Machine
+	}
+	if cfg.P < 2 {
+		return nil, fmt.Errorf("harness: guidelines need P ≥ 2, got %d", cfg.P)
+	}
+	if cfg.P2 != 0 && cfg.P2 <= cfg.P {
+		return nil, fmt.Errorf("harness: P2 %d must exceed P %d (or be 0 to skip rank checks)", cfg.P2, cfg.P)
+	}
+
+	// Normalize lengths to multiples of the largest group so every rank
+	// holds an equal block at both sizes.
+	unit := cfg.P
+	if cfg.P2 > unit {
+		unit = cfg.P2
+	}
+	norm := map[int]bool{}
+	var lengths []int
+	for _, n := range cfg.Lengths {
+		m := (n / unit) * unit
+		if m == 0 {
+			m = unit
+		}
+		if !norm[m] {
+			norm[m] = true
+			lengths = append(lengths, m)
+		}
+	}
+	sort.Ints(lengths)
+	cfg.Lengths = lengths
+
+	g := &Guidelines{Config: cfg, Times: make(map[TimeKey]float64)}
+	groups := []int{cfg.P}
+	if cfg.P2 != 0 {
+		groups = append(groups, cfg.P2)
+	}
+	for _, p := range groups {
+		algs := []string{"auto"}
+		if cfg.Envelope && p == cfg.P {
+			algs = append(algs, "short", "long")
+		}
+		for _, alg := range algs {
+			if err := g.measureGroup(p, alg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	g.evaluate()
+	return g, nil
+}
+
+// collLengths returns the vector lengths a collective is measured at —
+// barrier has no vector and is measured once as n = 0.
+func (g *Guidelines) collLengths(coll string) []int {
+	if coll == "barrier" {
+		return []int{0}
+	}
+	return g.Config.Lengths
+}
+
+// measureGroup fills Times for one (group size, algorithm) pair.
+func (g *Guidelines) measureGroup(p int, alg string) error {
+	cfg := &g.Config
+	var opts []icc.Option
+	switch alg {
+	case "short":
+		opts = append(opts, icc.WithAlg(icc.AlgShort))
+	case "long":
+		opts = append(opts, icc.WithAlg(icc.AlgLong))
+	}
+	if cfg.Planning != nil {
+		opts = append(opts, icc.WithMachine(*cfg.Planning))
+	}
+	if cfg.Transport == "chan" {
+		return g.measureChanGroup(p, alg, opts)
+	}
+	for _, coll := range guidelineColls {
+		if alg != "auto" && !contains(envelopeColls, coll) {
+			continue
+		}
+		for _, n := range g.collLengths(coll) {
+			res, err := icc.SimulateMesh(1, p, cfg.Machine, false, func(c *icc.Comm) error {
+				return runGuideline(c, coll, n, nil, nil)
+			}, opts...)
+			if err != nil {
+				return fmt.Errorf("harness: %s p=%d n=%d %s: %w", coll, p, n, alg, err)
+			}
+			g.Times[TimeKey{P: p, N: n, Coll: coll, Alg: alg}] = res.Seconds
+		}
+	}
+	return nil
+}
+
+// measureChanGroup runs one in-process world for a (group, algorithm)
+// pair and times every collective inside it on the wall clock: barrier,
+// collective, barrier, so the measurement spans full completion on all
+// ranks; the minimum over Reps filters scheduler noise. Only rank 0
+// records — world.Run joins every rank before the map is read.
+func (g *Guidelines) measureChanGroup(p int, alg string, opts []icc.Option) error {
+	cfg := &g.Config
+	maxN := cfg.Lengths[len(cfg.Lengths)-1]
+	w := icc.NewChannelWorld(p, opts...)
+	return w.Run(func(c *icc.Comm) error {
+		send := make([]byte, maxN)
+		recv := make([]byte, maxN)
+		for _, coll := range guidelineColls {
+			if alg != "auto" && !contains(envelopeColls, coll) {
+				continue
+			}
+			for _, n := range g.collLengths(coll) {
+				best := math.Inf(1)
+				for rep := 0; rep < cfg.Reps; rep++ {
+					if err := c.Barrier(); err != nil {
+						return err
+					}
+					t0 := time.Now()
+					if err := runGuideline(c, coll, n, send, recv); err != nil {
+						return err
+					}
+					if err := c.Barrier(); err != nil {
+						return err
+					}
+					if dt := time.Since(t0).Seconds(); dt < best {
+						best = dt
+					}
+				}
+				if c.Rank() == 0 {
+					g.Times[TimeKey{P: p, N: n, Coll: coll, Alg: alg}] = best
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// runGuideline executes one named collective moving a total vector of n
+// bytes (equal per-rank blocks). send and recv are nil on timing-only
+// transports.
+func runGuideline(c *icc.Comm, coll string, n int, send, recv []byte) error {
+	p := c.Size()
+	per := n / p
+	counts := make([]int, p)
+	for i := range counts {
+		counts[i] = per
+	}
+	switch coll {
+	case "bcast":
+		return c.Bcast(send, n, icc.Uint8, 0)
+	case "reduce":
+		return c.Reduce(send, recv, n, icc.Uint8, icc.Sum, 0)
+	case "allreduce":
+		return c.AllReduce(send, recv, n, icc.Uint8, icc.Sum)
+	case "scatter":
+		return c.Scatter(send, recv, per, icc.Uint8, 0)
+	case "gather":
+		return c.Gather(send, recv, per, icc.Uint8, 0)
+	case "collect":
+		return c.Collect(send, recv, per, icc.Uint8)
+	case "reducescatter":
+		return c.ReduceScatter(send, counts, recv, icc.Uint8, icc.Sum)
+	case "alltoall":
+		return c.AllToAll(send, recv, per, icc.Uint8)
+	case "scatterv":
+		return c.Scatterv(send, counts, recv, icc.Uint8, 0)
+	case "gatherv":
+		return c.Gatherv(send, counts, recv, icc.Uint8, 0)
+	case "collectv":
+		return c.Collectv(send, counts, recv, icc.Uint8)
+	case "alltoallv":
+		return c.AllToAllv(send, counts, recv, counts, icc.Uint8)
+	case "barrier":
+		return c.Barrier()
+	}
+	return fmt.Errorf("harness: unknown collective %q", coll)
+}
+
+// pass applies the tolerance band: lhs ≤ rhs·(1+TolRel) + TolAbs.
+func (g *Guidelines) pass(lhs, rhs float64) bool {
+	return lhs <= rhs*(1+g.Config.TolRel)+g.Config.TolAbs
+}
+
+func (g *Guidelines) check(rule, coll string, p, n int, lhs, rhs float64, detail string) {
+	g.Checks++
+	if !g.pass(lhs, rhs) {
+		g.Violations = append(g.Violations, Violation{
+			Rule: rule, Coll: coll, P: p, N: n, Lhs: lhs, Rhs: rhs, Detail: detail,
+		})
+	}
+}
+
+// evaluate applies the rule set to the measured times.
+func (g *Guidelines) evaluate() {
+	cfg := &g.Config
+	at := func(p, n int, coll, alg string) (float64, bool) {
+		t, ok := g.Times[TimeKey{P: p, N: n, Coll: coll, Alg: alg}]
+		return t, ok
+	}
+	// Composition dominance at every measured (p, n).
+	groups := []int{cfg.P}
+	if cfg.P2 != 0 {
+		groups = append(groups, cfg.P2)
+	}
+	for _, p := range groups {
+		for _, n := range cfg.Lengths {
+			for _, rule := range compositions {
+				lhs, ok := at(p, n, rule.lhs, "auto")
+				if !ok {
+					continue
+				}
+				rhs := 0.0
+				have := true
+				for _, rc := range rule.rhs {
+					t, ok := at(p, n, rc, "auto")
+					if !ok {
+						have = false
+						break
+					}
+					rhs += t
+				}
+				if have {
+					g.check("composition", rule.name, p, n, lhs, rhs, "specialized loses to composition")
+				}
+			}
+		}
+	}
+	// Length monotonicity: within a group, time may not shrink as the
+	// vector grows.
+	for _, p := range groups {
+		for _, coll := range guidelineColls {
+			ls := g.collLengths(coll)
+			for i := 1; i < len(ls); i++ {
+				small, ok1 := at(p, ls[i-1], coll, "auto")
+				big, ok2 := at(p, ls[i], coll, "auto")
+				if ok1 && ok2 {
+					g.check("length-monotonicity", coll, p, ls[i], small, big,
+						fmt.Sprintf("t(%d) > t(%d)", ls[i-1], ls[i]))
+				}
+			}
+		}
+	}
+	// Rank monotonicity: the same total vector over more ranks may not get
+	// faster.
+	if cfg.P2 != 0 {
+		for _, coll := range guidelineColls {
+			for _, n := range g.collLengths(coll) {
+				small, ok1 := at(cfg.P, n, coll, "auto")
+				big, ok2 := at(cfg.P2, n, coll, "auto")
+				if ok1 && ok2 {
+					g.check("rank-monotonicity", coll, cfg.P2, n, small, big,
+						fmt.Sprintf("t(p=%d) > t(p=%d)", cfg.P, cfg.P2))
+				}
+			}
+		}
+	}
+	// Envelope: auto rides the lower envelope of the fixed algorithms.
+	if cfg.Envelope {
+		for _, coll := range envelopeColls {
+			for _, n := range g.collLengths(coll) {
+				auto, ok0 := at(cfg.P, n, coll, "auto")
+				short, ok1 := at(cfg.P, n, coll, "short")
+				long, ok2 := at(cfg.P, n, coll, "long")
+				if !ok0 || !ok1 || !ok2 {
+					continue
+				}
+				env := math.Min(short, long)
+				g.check("envelope", coll, cfg.P, n, auto, env, "auto above min(short, long)")
+			}
+		}
+	}
+}
+
+// Tables renders the sweep as printable tables: the measurements per
+// group size and a rule summary.
+func (g *Guidelines) Tables() []Table {
+	cfg := &g.Config
+	var tables []Table
+	groups := []int{cfg.P}
+	if cfg.P2 != 0 {
+		groups = append(groups, cfg.P2)
+	}
+	for _, p := range groups {
+		t := Table{
+			Title:  fmt.Sprintf("Guideline measurements — %s, p=%d (auto)", cfg.Transport, p),
+			Header: []string{"collective"},
+		}
+		for _, n := range cfg.Lengths {
+			t.Header = append(t.Header, bytesLabel(n))
+		}
+		for _, coll := range guidelineColls {
+			row := []string{coll}
+			for _, n := range g.collLengths(coll) {
+				if v, ok := g.Times[TimeKey{P: p, N: n, Coll: coll, Alg: "auto"}]; ok {
+					row = append(row, secs(v))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			for len(row) < len(t.Header) {
+				row = append(row, "") // barrier: one lengthless entry
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	sum := Table{
+		Title:  fmt.Sprintf("Guideline verdicts — %d checks, %d violations (tol %.0f%% + %.3gs)", g.Checks, len(g.Violations), cfg.TolRel*100, cfg.TolAbs),
+		Header: []string{"rule", "collective", "p", "n", "lhs", "rhs"},
+	}
+	for _, v := range g.Violations {
+		sum.Rows = append(sum.Rows, []string{v.Rule, v.Coll, fmt.Sprint(v.P), fmt.Sprint(v.N), secs(v.Lhs), secs(v.Rhs)})
+	}
+	if len(g.Violations) == 0 {
+		sum.Notes = append(sum.Notes, "all guidelines hold")
+	}
+	tables = append(tables, sum)
+	return tables
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

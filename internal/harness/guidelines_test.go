@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// The standing gate: every guideline holds for all 13 collectives on the
+// deterministic simulated transport with self-consistent planning.
+func TestGuidelinesSimnet(t *testing.T) {
+	g, err := RunGuidelines(DefaultGuidelinesConfig("simnet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Checks == 0 {
+		t.Fatal("no guideline checks ran")
+	}
+	for _, v := range g.Violations {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+// The same rule set over the wall-clock chan transport, with the wide
+// tolerance band real scheduling noise needs. Skipped in short mode so
+// the race-detector pass stays fast; `make verify` runs it via the plain
+// test step.
+func TestGuidelinesChan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock guidelines sweep skipped in short mode")
+	}
+	g, err := RunGuidelines(DefaultGuidelinesConfig("chan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Checks == 0 {
+		t.Fatal("no guideline checks ran")
+	}
+	for _, v := range g.Violations {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+// The meta-test: the gate must actually gate. Deliberately corrupting one
+// machine constant — telling the planner startups are free while the
+// network still charges 100 µs each — must produce violations, otherwise
+// the suite would also pass on a broken calibration.
+func TestGuidelinesCatchCorruption(t *testing.T) {
+	cfg := DefaultGuidelinesConfig("simnet")
+	corrupt := model.ParagonLike()
+	corrupt.Alpha = 1e-12
+	cfg.Planning = &corrupt
+	cfg.P2 = 0 // rank checks add nothing to the corruption signal
+	g, err := RunGuidelines(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Violations) == 0 {
+		t.Fatal("corrupted planning machine produced no guideline violations — the gate cannot catch mis-calibration")
+	}
+	t.Logf("corruption caught: %d violations, e.g. %s", len(g.Violations), g.Violations[0])
+}

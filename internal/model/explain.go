@@ -37,6 +37,10 @@ type Ranked struct {
 	Shape      Shape
 	Cost       float64 // seconds at the given n
 	A, D, B, G float64 // α startups, δ steps, per-byte β and γ multipliers
+	// Provenance names the machine that priced this candidate — "default
+	// ParagonLike" versus "calibrated (tcp), fitted <date>" — so a
+	// mis-calibrated ranking is diagnosable from the explanation alone.
+	Provenance string
 }
 
 // Explain returns every candidate shape for collective c over layout l at
@@ -48,7 +52,7 @@ func (pl *Planner) Explain(c Collective, l group.Layout, n int, topK int) []Rank
 		var out []Ranked
 		for _, s := range []Shape{short, long} {
 			a, d, b, g := pl.mach.Coefficients(c, s)
-			out = append(out, Ranked{Shape: s, Cost: pl.mach.Cost(c, s, float64(n)), A: a, D: d, B: b, G: g})
+			out = append(out, Ranked{Shape: s, Cost: pl.mach.Cost(c, s, float64(n)), A: a, D: d, B: b, G: g, Provenance: pl.Provenance()})
 		}
 		sort.SliceStable(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
 		if topK > 0 && len(out) > topK {
@@ -69,6 +73,7 @@ func (pl *Planner) Explain(c Collective, l group.Layout, n int, topK int) []Rank
 				Shape: s,
 				Cost:  pl.mach.Cost(c, s, float64(n)),
 				A:     a, D: d, B: b, G: g,
+				Provenance: pl.Provenance(),
 			})
 		}
 	}

@@ -16,12 +16,12 @@ import "fmt"
 // these few numbers.
 type Machine struct {
 	// Alpha is the message startup latency in seconds (α).
-	Alpha float64
+	Alpha float64 `json:"alpha"`
 	// Beta is the transfer time per byte in seconds (β), i.e. the
 	// reciprocal of node-to-network bandwidth.
-	Beta float64
+	Beta float64 `json:"beta"`
 	// Gamma is the combine-arithmetic time per byte in seconds (γ).
-	Gamma float64
+	Gamma float64 `json:"gamma"`
 	// LinkExcess is the ratio of physical-link bandwidth to
 	// node-to-network bandwidth, ≥ 1. Section 7.1 observes that on the
 	// Paragon "there is an excess of bandwidth on each link … as a
@@ -29,14 +29,14 @@ type Machine struct {
 	// simultaneously without penalty"; a conflict among c messages on one
 	// link therefore costs only max(1, c/LinkExcess)× the conflict-free
 	// rate. The linear-array analysis of §6 corresponds to LinkExcess=1.
-	LinkExcess float64
+	LinkExcess float64 `json:"link_excess"`
 	// StepOverhead is the per-recursion-level software cost in seconds of
 	// the short-vector primitives, which are "implemented using recursive
 	// function calls, which carry a measurable overhead" — the paper's
 	// explanation for iCC trailing NX on 8-byte messages (§7.2). It adds
 	// to α on every minimum-spanning-tree step; the flat bucket loops do
 	// not pay it.
-	StepOverhead float64
+	StepOverhead float64 `json:"step_overhead"`
 }
 
 // ParagonLike returns machine parameters similar to those of the Intel

@@ -21,6 +21,10 @@ import (
 // for concurrent use; shape enumerations are cached per layout.
 type Planner struct {
 	mach Machine
+	// provenance records where mach's constants came from ("default
+	// ParagonLike", "calibrated (tcp), fitted …"), so every plan the
+	// planner prices can say which machine priced it.
+	provenance string
 	// maxFactors caps the number of logical dimensions carved from one
 	// physical dimension, bounding the enumeration.
 	maxFactors int
@@ -42,6 +46,20 @@ func NewPlanner(m Machine) *Planner {
 
 // Machine returns the machine model the planner costs shapes with.
 func (pl *Planner) Machine() Machine { return pl.mach }
+
+// SetProvenance records where the planner's machine constants came from;
+// Provenance and Explain report it. It is not synchronized: set it at
+// construction time, before the planner is shared.
+func (pl *Planner) SetProvenance(s string) { pl.provenance = s }
+
+// Provenance reports where the planner's machine constants came from,
+// defaulting to "unspecified machine".
+func (pl *Planner) Provenance() string {
+	if pl.provenance == "" {
+		return "unspecified machine"
+	}
+	return pl.provenance
+}
 
 // BestCalls returns how many times Best has run — i.e. how many shape
 // resolutions this planner has performed.
