@@ -29,11 +29,13 @@ race:
 	$(GO) test -race -short ./...
 
 # chaos runs the fault-injection suites — seeded faultnet schedules,
-# fail-stop propagation across all transports and completion modes, and
-# the TCP healing path — under the race detector.
+# fail-stop propagation across all transports and completion modes, the
+# TCP healing path, and the recovery suites (typed abort attribution,
+# Agree/Shrink including fail-stop during agreement, the kill → shrink →
+# keep-computing soak, and TCP rank rejoin) — under the race detector.
 chaos:
 	$(GO) test -race -short -count=1 \
-		-run 'TestChaos|TestFailStop|TestAbortPoisons|TestSendFailure|TestZeroBudget|TestDisarmed|TestReconnect|TestCollectiveThroughReconnect|TestDeadPeer|TestBrokenThenClosed' \
+		-run 'TestChaos|TestFailStop|TestAbortPoisons|TestSendFailure|TestZeroBudget|TestDisarmed|TestReconnect|TestCollectiveThroughReconnect|TestDeadPeer|TestBrokenThenClosed|TestRecovery|TestShrink|TestRejoin' \
 		. ./internal/core ./internal/faultnet ./internal/tcptransport
 
 # guidelines-short is the verify-time slice of the performance-guidelines
@@ -57,14 +59,16 @@ calibrate:
 # bench runs the plan-amortization benchmarks (persistent versus one-shot
 # all-reduce, plan-cache lookup), the hierarchical detour-pool allocs/op
 # benchmark, the calibrated-versus-default planner benchmark on live
-# transports, and the simulated flat / 2-level / 3-level comparison at 64
-# and 256 ranks, recording everything in BENCH_9.json via cmd/benchjson
-# and gating against the prior BENCH_7.json report.
+# transports, the recovery benchmarks (full fail-stop → Agree → Shrink
+# cycle and post-shrink all-reduce steady state), and the simulated
+# flat / 2-level / 3-level comparison at 64 and 256 ranks, recording
+# everything in BENCH_10.json via cmd/benchjson and gating against the
+# prior BENCH_9.json report.
 bench:
-	( $(GO) test -run XXX -bench 'PersistentAllReduce|OneShotAllReduce|PlanCache|HierCollectDeep|CalibratedPlanner' \
+	( $(GO) test -run XXX -bench 'PersistentAllReduce|OneShotAllReduce|PlanCache|HierCollectDeep|CalibratedPlanner|Shrink' \
 		-benchmem -count=1 . ; \
 	  $(GO) test -run XXX -bench TreeCollective -benchtime 1x -count=1 ./internal/harness ) \
-		| $(GO) run ./cmd/benchjson -o BENCH_9.json -compare BENCH_7.json
+		| $(GO) run ./cmd/benchjson -o BENCH_10.json -compare BENCH_9.json
 
 # benchall touches every benchmark once (a smoke pass, not a measurement).
 benchall:

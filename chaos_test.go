@@ -12,7 +12,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -21,6 +20,7 @@ import (
 	"repro/internal/chantransport"
 	"repro/internal/datatype"
 	"repro/internal/faultnet"
+	"repro/internal/harness"
 	"repro/internal/model"
 	"repro/internal/simnet"
 	"repro/internal/tcptransport"
@@ -205,7 +205,7 @@ func judgeChaos(t *testing.T, inj *faultnet.Injector, steps []int, errs []error)
 // TestChaosMixedCollectives: the fault-schedule × transport chaos matrix.
 func TestChaosMixedCollectives(t *testing.T) {
 	script := chaosScript()
-	before := runtime.NumGoroutine()
+	leak := harness.StartLeakCheck()
 	for _, sched := range chaosSchedules() {
 		for _, tr := range []string{"chan", "tcp", "simnet"} {
 			sched, tr := sched, tr
@@ -274,11 +274,5 @@ func TestChaosMixedCollectives(t *testing.T) {
 			})
 		}
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > before {
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	leak.Verify(t)
 }

@@ -119,6 +119,11 @@ type Comm struct {
 	// apply their options to a probe Comm before building the transport;
 	// it has no effect on a communicator over an already-built endpoint.
 	recvTimeout time.Duration
+	// epoch is the transport epoch this communicator was built in. After a
+	// Shrink the endpoint moves to the next epoch and every communicator of
+	// the old epoch refuses to run (guard), since its group may contain
+	// agreed-dead ranks and its cached plans dead routes.
+	epoch int
 }
 
 // shapeKey memoizes shape resolution per (collective, vector length); the
@@ -201,6 +206,7 @@ func New(ep transport.Endpoint, opts ...Option) (*Comm, error) {
 		layout:  group.Linear(ep.Size()),
 		alg:     AlgAuto,
 		seq:     &atomic.Uint32{},
+		epoch:   transport.EpochOf(ep),
 	}
 	c.ctxID = c.seq.Add(1) & 0x7f
 	if mp, ok := ep.(interface{ Machine() model.Machine }); ok {
@@ -381,11 +387,28 @@ func (c *Comm) scratch(n int) []byte {
 	return make([]byte, n)
 }
 
+// guard rejects collectives on a communicator whose epoch predates the
+// endpoint's: the world was aborted and recovered past it, so its group
+// may contain agreed-dead ranks and its cached plans dead routes. The
+// successor communicator returned by Shrink (or Readmit) carries the new
+// epoch.
+func (c *Comm) guard() error {
+	if ep := transport.EpochOf(c.ep); ep != c.epoch {
+		return fmt.Errorf("icc: communicator of epoch %d used in epoch %d (world recovered; use the communicator returned by Shrink): %w",
+			c.epoch, ep, transport.ErrStaleEpoch)
+	}
+	return nil
+}
+
 // vecBytes validates an element count and returns the vector's byte
 // length count·dt.Size()·scale, rejecting negative counts and products
 // that overflow int — the arguments that previously crashed the process
-// inside makeslice.
+// inside makeslice. As the funnel every vector collective validates
+// through, it also runs the epoch guard.
 func (c *Comm) vecBytes(count int, dt Type, scale int) (int, error) {
+	if err := c.guard(); err != nil {
+		return 0, err
+	}
 	if count < 0 {
 		return 0, fmt.Errorf("icc: negative count %d", count)
 	}
@@ -680,6 +703,9 @@ func (c *Comm) AllToAllv(send []byte, sendCounts []int, recv []byte, recvCounts 
 // Barrier blocks until every node of the communicator has entered it,
 // implemented as a zero-length combine-to-all.
 func (c *Comm) Barrier() error {
+	if err := c.guard(); err != nil {
+		return err
+	}
 	s := model.MSTShape(c.layout)
 	return core.AllReduce(c.ctx(), s, nil, nil, 0, Uint8, Sum)
 }
@@ -687,6 +713,9 @@ func (c *Comm) Barrier() error {
 // offsets validates counts and returns byte offsets plus the total byte
 // length.
 func (c *Comm) offsets(counts []int, dt Type) ([]int, int, error) {
+	if err := c.guard(); err != nil {
+		return nil, 0, err
+	}
 	if len(counts) != c.Size() {
 		return nil, 0, fmt.Errorf("icc: %d counts for communicator of %d", len(counts), c.Size())
 	}

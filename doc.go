@@ -204,11 +204,16 @@
 // an operation fail immediately with the abort error; peers not yet
 // blocked fail on their next operation. A failure nobody observes (a rank
 // that simply stops calling) is caught by the receive timeout instead,
-// and that timeout error aborts the world in turn. After an abort the
-// world stays poisoned: every further collective on any member fails fast
-// with ErrAborted — the MPI_Abort discipline, minus the process kill.
-// In-flight Requests complete (with the abort error), progress goroutines
-// drain and exit, and no operation hangs.
+// and that timeout error aborts the world in turn. In-flight Requests
+// complete (with the abort error), progress goroutines drain and exit,
+// and no operation hangs.
+//
+// The abort itself is typed: every error wrapping ErrAborted carries an
+// *AbortError, extracted with errors.As, naming the rank that raised it
+// (Origin) and the set of world ranks it believed dead (Failed). Shape
+// confusion — debris of a collective cut down mid-flight — poisons the
+// world with an empty Failed set, blaming nobody; the rank that actually
+// died is identified by its own dying gasp or by the survivor agreement.
 //
 // Transient faults are a different regime: the TCP transport heals them
 // silently. Each connection is supervised — a broken socket triggers
@@ -225,6 +230,65 @@
 // per-link budgets, drop rates, partitions, added latency) that wraps any
 // endpoint, used by the failure, chaos and acceptance suites; `make
 // chaos` runs them under the race detector.
+//
+// # Recovery: Agree, Shrink, rejoin
+//
+// An abort poisons the world — every further collective fails fast with
+// ErrAborted — but the poison is not the end. Survivors recover with two
+// communicator operations, after the ULFM (User-Level Failure
+// Mitigation) discipline:
+//
+//   - Comm.Agree runs a fault-tolerant agreement among the members not
+//     known dead: a coordinator (the lowest unsuspected rank) collects
+//     every survivor's local suspect set, decides the union, and commits
+//     it once every live member has acknowledged. The protocol tolerates
+//     fail-stop during agreement itself — a coordinator death restarts
+//     the round with the next candidate, and the decided set is the same
+//     on every survivor.
+//   - Comm.Shrink calls Agree, clears the poison (moving the transport to
+//     a new epoch whose Recv discards stale-epoch debris), and returns a
+//     new communicator over the survivors, re-ranked contiguously with
+//     dead members dropped from the declared topology. All collectives —
+//     blocking, non-blocking and persistent — run on the shrunken
+//     communicator; its plan cache starts fresh.
+//
+// Shrink is deliberately barrier-free: the agreement's commit point
+// (every live member acknowledged the decision) is the synchronization.
+// A member that dies after acknowledging simply fails the successor
+// communicator's next collective, and the survivor loop shrinks again:
+//
+//	c := world            // current communicator
+//	for {
+//	    err := step(c)    // some collective(s)
+//	    if err == nil {
+//	        continue
+//	    }
+//	    if errors.Is(err, icc.ErrExpelled) {
+//	        return err    // the survivors agreed *we* are dead
+//	    }
+//	    s, serr := c.Shrink()
+//	    if serr != nil {
+//	        return serr
+//	    }
+//	    c = s
+//	    // Survivors reach this point at different iterations — aborts
+//	    // land asynchronously — so agree on the resume point before
+//	    // computing (e.g. AllReduce-Max of the iteration counter).
+//	}
+//
+// The post-shrink resync matters: without it, survivors resume from
+// wherever the abort caught them and run different collectives against
+// each other. One AllReduce with Max over the iteration counter on the
+// new communicator aligns everyone at the furthest survivor.
+//
+// A killed rank need not stay dead. On the TCP transport a restarted
+// rank re-binds its listener, re-dials with Rejoin, and joins the world
+// with icc.Join, which syncs the survivors' epoch, failed set and
+// calibration profile; a survivor readmits it with Comm.Readmit, and the
+// readmitted communicator spans the original world again. Restart
+// detection is by incarnation: every endpoint presents a boot id in the
+// link handshake, so a zombie that restarts within the heal window is
+// detected at its first dial-back instead of being silently healed.
 //
 // # Calibration and performance guidelines
 //

@@ -26,7 +26,17 @@ var (
 	// ErrClosed reports an operation on (or with) a closed endpoint — a
 	// deliberate shutdown, not a failure.
 	ErrClosed = transport.ErrClosed
+	// ErrStaleEpoch reports a collective on a communicator built before the
+	// world recovered (Shrink): its group may contain agreed-dead ranks.
+	// Use the successor communicator Shrink returned.
+	ErrStaleEpoch = transport.ErrStaleEpoch
 )
+
+// AbortError is the typed error attached to a poisoned world: Origin is
+// the rank that raised the abort and Failed the ranks it blamed. Every
+// abort-wrapping error returned by a collective matches it with
+// errors.As, and Shrink folds its Failed set into the agreement.
+type AbortError = transport.AbortError
 
 // Err returns the error that poisoned this communicator's world after an
 // abort, or nil while the world is healthy. Once non-nil, every further

@@ -11,7 +11,6 @@ package icc_test
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -19,6 +18,7 @@ import (
 	icc "repro"
 	"repro/internal/chantransport"
 	"repro/internal/faultnet"
+	"repro/internal/harness"
 	"repro/internal/model"
 	"repro/internal/simnet"
 	"repro/internal/tcptransport"
@@ -160,7 +160,7 @@ func TestFailStopPropagation(t *testing.T) {
 			return h.Wait()
 		},
 	}
-	before := runtime.NumGoroutine()
+	leak := harness.StartLeakCheck()
 	for _, tr := range []string{"chan", "tcp", "simnet"} {
 		for mode, body := range bodies {
 			tr, mode, body := tr, mode, body
@@ -174,13 +174,7 @@ func TestFailStopPropagation(t *testing.T) {
 			})
 		}
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > before {
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	leak.Verify(t)
 }
 
 // TestAbortPoisonsComm: after a failure, the communicator is poisoned —

@@ -54,6 +54,7 @@ func (c *Comm) Sub(ranks []int) (*Comm, error) {
 		hier:      c.hier,
 		hasHier:   c.hasHier,
 		unstriped: c.unstriped,
+		epoch:     c.epoch,
 	}
 	s.ctxID = c.seq.Add(1) & 0x7f
 	return s, nil
@@ -117,6 +118,7 @@ func (c *Comm) withClusterAssignment(assign []int) (*Comm, error) {
 		hier:        c.hier,
 		hasHier:     c.hasHier,
 		unstriped:   c.unstriped,
+		epoch:       c.epoch,
 		clusters:    cl,
 		hasClusters: true,
 		clSizes:     cl.Sizes(),

@@ -102,7 +102,7 @@ func (e *env) recv(from int, tag transport.Tag, p []byte, n int) error {
 		return e.fail(err)
 	}
 	if got != n {
-		return e.fail(fmt.Errorf("core: logical %d received %d bytes from %d, want %d (tag %#x)", e.me, got, from, n, uint32(tag)))
+		return e.fail(fmt.Errorf("%w: core: logical %d received %d bytes from %d, want %d (tag %#x)", transport.ErrTruncate, e.me, got, from, n, uint32(tag)))
 	}
 	return nil
 }
@@ -132,7 +132,7 @@ func (e *env) sendRecv(to int, stag transport.Tag, sp []byte, sn int, from int, 
 		return e.fail(err)
 	}
 	if got != rn {
-		return e.fail(fmt.Errorf("core: logical %d received %d bytes from %d, want %d (tag %#x)", e.me, got, from, rn, uint32(rtag)))
+		return e.fail(fmt.Errorf("%w: core: logical %d received %d bytes from %d, want %d (tag %#x)", transport.ErrTruncate, e.me, got, from, rn, uint32(rtag)))
 	}
 	return nil
 }

@@ -150,7 +150,7 @@ func (pl *Plan) Execute(ep transport.Endpoint, mach *model.Machine, bs Buffers) 
 				return fail(err)
 			}
 			if got != st.n {
-				return fail(fmt.Errorf("core: plan received %d bytes from %d, want %d (tag %#x)", got, st.peer, st.n, uint32(st.tag)))
+				return fail(fmt.Errorf("%w: core: plan received %d bytes from %d, want %d (tag %#x)", transport.ErrTruncate, got, st.peer, st.n, uint32(st.tag)))
 			}
 		case opSendRecv:
 			var got int
@@ -167,7 +167,7 @@ func (pl *Plan) Execute(ep transport.Endpoint, mach *model.Machine, bs Buffers) 
 				return fail(err)
 			}
 			if got != st.n2 {
-				return fail(fmt.Errorf("core: plan received %d bytes from %d, want %d (tag %#x)", got, st.peer2, st.n2, uint32(st.tag2)))
+				return fail(fmt.Errorf("%w: core: plan received %d bytes from %d, want %d (tag %#x)", transport.ErrTruncate, got, st.peer2, st.n2, uint32(st.tag2)))
 			}
 		case opCombine:
 			if carry && st.n > 0 {

@@ -112,15 +112,17 @@ func (inj *Injector) Wrap(ep transport.Endpoint) *Endpoint {
 
 // Endpoint is a fault-injecting wrapper around one rank's endpoint.
 type Endpoint struct {
-	inner transport.Endpoint
-	inj   *Injector
-	ops   atomic.Int64
-	dead  atomic.Bool
+	inner   transport.Endpoint
+	inj     *Injector
+	ops     atomic.Int64
+	dead    atomic.Bool
+	revived atomic.Bool
 }
 
 var (
 	_ transport.Endpoint    = (*Endpoint)(nil)
 	_ transport.Aborter     = (*Endpoint)(nil)
+	_ transport.Recoverer   = (*Endpoint)(nil)
 	_ transport.Clock       = (*Endpoint)(nil)
 	_ transport.DataCarrier = (*Endpoint)(nil)
 	_ transport.SizeSender  = (*Endpoint)(nil)
@@ -142,6 +144,43 @@ func (f *Endpoint) Abort(reason error) { transport.Abort(f.inner, reason) }
 
 // AbortErr returns the inner endpoint's poisoning error, or nil.
 func (f *Endpoint) AbortErr() error { return transport.AbortErr(f.inner) }
+
+// Reset forwards to the inner endpoint's recovery path (a no-op on
+// transports without one). Like Abort, recovery is control plane: the
+// survivor protocol it serves is the machinery under test, so the
+// schedule never injects into it.
+func (f *Endpoint) Reset(failed []int) { transport.Reset(f.inner, failed) }
+
+// Failed returns the inner endpoint's agreed-dead set.
+func (f *Endpoint) Failed() []int { return transport.FailedOf(f.inner) }
+
+// Epoch returns the inner endpoint's recovery epoch.
+func (f *Endpoint) Epoch() int { return transport.EpochOf(f.inner) }
+
+// Readmit forwards to the inner transport's rank-restart path.
+func (f *Endpoint) Readmit(peer int) error {
+	if r, ok := f.inner.(transport.Readmitter); ok {
+		return r.Readmit(peer)
+	}
+	return fmt.Errorf("faultnet: inner transport %T does not support readmission", f.inner)
+}
+
+// AdoptEpoch forwards to the inner transport's rank-restart path.
+func (f *Endpoint) AdoptEpoch(epoch int, failed []int) {
+	if r, ok := f.inner.(transport.Readmitter); ok {
+		r.AdoptEpoch(epoch, failed)
+	}
+}
+
+// Revive ends this rank's fail-stop: the dead flag clears and the
+// schedule's FailStop entry no longer applies, modelling a killed rank
+// restarted by an external supervisor (kill-then-restart schedules pair
+// it with the transport's Rejoin/Readmit handshake). Other faults —
+// drops, budgets, partitions — keep applying.
+func (f *Endpoint) Revive() {
+	f.revived.Store(true)
+	f.dead.Store(false)
+}
 
 // Now returns the inner clock's virtual time, or 0 on real-time transports.
 func (f *Endpoint) Now() float64 {
@@ -175,7 +214,7 @@ func (f *Endpoint) gate(kind string, sendTo, recvFrom int) error {
 		inj.tally.Add(1)
 		return fmt.Errorf("%w: rank %d is fail-stopped", ErrInjected, rank)
 	}
-	if k, ok := inj.cfg.FailStop[rank]; ok && idx >= k {
+	if k, ok := inj.cfg.FailStop[rank]; ok && idx >= k && !f.revived.Load() {
 		f.dead.Store(true)
 		inj.tally.Add(1)
 		return fmt.Errorf("%w: rank %d fail-stopped at op %d (%s)", ErrInjected, rank, idx, kind)

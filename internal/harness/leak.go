@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"runtime"
+	"time"
+)
+
+// Failer is the subset of testing.TB the leak checker reports through. It
+// is a local interface so importing the harness does not pull the testing
+// package (and its flags) into benchmark binaries.
+type Failer interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// LeakCheck asserts that a test leaves no goroutines behind: capture the
+// baseline with StartLeakCheck before building any worlds, run the test
+// bodies, then Verify. Worlds wind down asynchronously — progress
+// goroutines exiting, TCP readers draining their last frames — so Verify
+// polls the count down to the baseline for a bounded grace period rather
+// than sampling once.
+type LeakCheck struct {
+	before int
+	grace  time.Duration
+}
+
+// StartLeakCheck records the current goroutine count as the baseline.
+func StartLeakCheck() LeakCheck {
+	return LeakCheck{before: runtime.NumGoroutine(), grace: 5 * time.Second}
+}
+
+// Verify fails t unless the goroutine count returns to the baseline
+// within the grace period.
+func (l LeakCheck) Verify(t Failer) {
+	t.Helper()
+	deadline := time.Now().Add(l.grace)
+	for runtime.NumGoroutine() > l.before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", l.before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -102,8 +102,14 @@ type engine struct {
 	// abortErr, once set, poisons the simulation: every blocked operation
 	// is failed with it and every later post returns it immediately. Only
 	// ever touched by the goroutine holding the scheduling baton, like all
-	// engine state.
-	abortErr error
+	// engine state. Recovery (Endpoint.Reset) clears it, bumps epoch, and
+	// records the agreed dead set; lastAbort keeps the poison visible to
+	// nodes that have not yet acknowledged the new epoch.
+	abortErr  error
+	lastAbort error
+	epoch     int
+	procSeen  []int        // per node: last epoch acknowledged via Reset
+	dead      map[int]bool // world ranks agreed dead
 }
 
 func newEngine(cfg Config) *engine {
@@ -141,7 +147,16 @@ func newEngine(cfg Config) *engine {
 	for i := 0; i < n; i++ {
 		e.procs[i] = &proc{id: i, resume: make(chan struct{}, 1)}
 	}
+	e.procSeen = make([]int, n)
+	e.dead = make(map[int]bool)
 	return e
+}
+
+// staleErr describes a post by a node whose acknowledged epoch predates
+// the engine's: an abort was raised and cleared while it was computing.
+func (e *engine) staleErr(node int) error {
+	return fmt.Errorf("%w: node %d at epoch %d, world at %d: %w",
+		transport.ErrStaleEpoch, node, e.procSeen[node], e.epoch, e.lastAbort)
 }
 
 // yieldWait hands the baton to the engine and blocks until rescheduled.
@@ -155,15 +170,52 @@ func (e *engine) yieldWait(p *proc) {
 // against the peer's posted counterpart if present, then blocks p until all
 // complete. It returns nothing; callers read results out of the ops.
 func (e *engine) postOps(p *proc, ops ...*op) {
-	if e.abortErr != nil {
-		// The world is poisoned: fail without blocking (and without
-		// yielding — the caller keeps the baton and will yield when its
-		// proc exits or posts again).
-		for _, o := range ops {
-			o.done = true
-			o.err = e.abortErr
+	// Recovery-tagged operations run through the poison: the agreement
+	// protocol is exactly the traffic that must flow while the world is
+	// down. (A later abort still fails them via failBlocked — in the
+	// rendezvous model that is safe, since an unmatched post vanishes with
+	// its error and both sides retry.)
+	rec := len(ops) > 0
+	for _, o := range ops {
+		if !o.tag.IsRecovery() {
+			rec = false
 		}
-		return
+	}
+	if !rec {
+		if e.abortErr != nil {
+			// The world is poisoned: fail without blocking (and without
+			// yielding — the caller keeps the baton and will yield when its
+			// proc exits or posts again).
+			for _, o := range ops {
+				o.done = true
+				o.err = e.abortErr
+			}
+			return
+		}
+		if e.procSeen[p.id] < e.epoch {
+			err := e.staleErr(p.id)
+			for _, o := range ops {
+				o.done = true
+				o.err = err
+			}
+			return
+		}
+	}
+	for _, o := range ops {
+		// A post aimed at an agreed-dead node — or, for recovery control
+		// traffic (which bypasses the poison gate above), at a node whose
+		// goroutine already exited — fails the whole operation set
+		// immediately rather than tripping the deadlock detector at
+		// quiescence.
+		if e.dead[o.peer] || (rec && e.procs[o.peer].exited) {
+			err := error(&transport.PeerError{Peer: o.peer,
+				Err: fmt.Errorf("%w: node %d is dead (node %d)", transport.ErrPeerFailed, o.peer, p.id)})
+			for _, oo := range ops {
+				oo.done = true
+				oo.err = err
+			}
+			return
+		}
 	}
 	p.waiting = append(p.waiting[:0], ops...)
 	for _, o := range ops {

@@ -20,6 +20,7 @@ package simnet
 import (
 	"fmt"
 	"runtime/debug"
+	"sort"
 
 	"repro/internal/group"
 	"repro/internal/model"
@@ -302,24 +303,82 @@ var (
 	_ transport.Clock       = (*Endpoint)(nil)
 	_ transport.DataCarrier = (*Endpoint)(nil)
 	_ transport.Aborter     = (*Endpoint)(nil)
+	_ transport.Recoverer   = (*Endpoint)(nil)
 )
 
 // Abort poisons the simulation with this node as origin: every blocked
 // operation on every node fails immediately (in virtual time) and every
 // later post returns the abort error without blocking. Like every endpoint
 // method it must be called by the goroutine currently holding the node's
-// scheduling baton.
+// scheduling baton. A concurrent abort merges its failed set into the
+// first; an abort naming only ranks already agreed dead is a late
+// duplicate and is suppressed.
 func (ep *Endpoint) Abort(reason error) {
 	e := ep.e
-	if e.abortErr != nil {
+	ae := transport.ToAbortError(ep.proc.id, reason)
+	if cur, ok := e.abortErr.(*transport.AbortError); ok {
+		cur.Failed = transport.MergeFailed(cur.Failed, ae.Failed)
 		return
 	}
-	e.abortErr = transport.AbortError(ep.proc.id, reason.Error())
+	if e.epoch > 0 && allDead(e.dead, ae.Failed) {
+		return
+	}
+	e.abortErr = ae
+	e.lastAbort = ae
 	e.failBlocked(e.abortErr)
 }
 
-// AbortErr returns the simulation's poisoning error, or nil.
-func (ep *Endpoint) AbortErr() error { return ep.e.abortErr }
+func allDead(dead map[int]bool, failed []int) bool {
+	for _, r := range failed {
+		if !dead[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// AbortErr returns the simulation's poisoning error, the stale-epoch
+// error if the world recovered past this node, or nil.
+func (ep *Endpoint) AbortErr() error {
+	e := ep.e
+	if e.abortErr != nil {
+		return e.abortErr
+	}
+	if e.procSeen[ep.proc.id] < e.epoch {
+		return e.staleErr(ep.proc.id)
+	}
+	return nil
+}
+
+// Reset acknowledges the current poison, marks the given nodes dead, and
+// moves this node into the next epoch. The first survivor to Reset clears
+// the shared poison and bumps the engine epoch; posts by nodes that have
+// not yet Reset keep failing with a stale-epoch error. Must be called
+// while holding the scheduling baton, like every endpoint method.
+func (ep *Endpoint) Reset(failed []int) {
+	e := ep.e
+	for _, r := range failed {
+		e.dead[r] = true
+	}
+	if e.abortErr != nil {
+		e.abortErr = nil
+		e.epoch++
+	}
+	e.procSeen[ep.proc.id] = e.epoch
+}
+
+// Failed returns the sorted set of nodes agreed dead.
+func (ep *Endpoint) Failed() []int {
+	out := make([]int, 0, len(ep.e.dead))
+	for r := range ep.e.dead {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Epoch returns the engine's current epoch.
+func (ep *Endpoint) Epoch() int { return ep.e.epoch }
 
 // Rank returns the node id (row*Cols + col).
 func (ep *Endpoint) Rank() int { return ep.proc.id }

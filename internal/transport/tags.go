@@ -19,3 +19,15 @@ func (t Tag) Phase() uint32 { return (uint32(t) >> 16) & 0xff }
 
 // Step extracts the step field of t.
 func (t Tag) Step() uint32 { return uint32(t) & 0xffff }
+
+// RecoveryColl is the collective id reserved for the survivor-recovery
+// protocol (agreement, shrink, readmission). Messages tagged with it are
+// control traffic that must flow while the world is poisoned: transports
+// exempt them from the abort, stale-epoch and epoch-filter checks that
+// fence ordinary collective traffic, and a recovery receive discards
+// queued non-matching messages (debris of collectives cut down by the
+// abort) instead of failing on them.
+const RecoveryColl = 0xFE
+
+// IsRecovery reports whether t belongs to the recovery control namespace.
+func (t Tag) IsRecovery() bool { return t.Coll() == RecoveryColl }

@@ -12,6 +12,9 @@ package icc
 
 // issueNB validates a bound plan and hands it to the progress engine.
 func (c *Comm) issueNB(kind planKind, key planKey, nBytes, segBytes int, send, recv []byte) (*Request, error) {
+	if err := c.guard(); err != nil {
+		return nil, err
+	}
 	pl, err := c.plan(key, nBytes)
 	if err != nil {
 		return nil, err

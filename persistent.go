@@ -158,6 +158,9 @@ type boundPlan struct {
 
 func (b *boundPlan) run() error {
 	c := b.c
+	if err := c.guard(); err != nil {
+		return err
+	}
 	carry := c.carries()
 	var bs core.Buffers
 	var eb *execBufs
@@ -335,6 +338,9 @@ func (p *Persistent) Free() { p.freed = true }
 
 // initPersistent builds a handle for a cached plan bound to user buffers.
 func (c *Comm) initPersistent(kind planKind, key planKey, nBytes, segBytes int, send, recv []byte) (*Persistent, error) {
+	if err := c.guard(); err != nil {
+		return nil, err
+	}
 	pl, err := c.plan(key, nBytes)
 	if err != nil {
 		return nil, err

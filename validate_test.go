@@ -16,7 +16,6 @@ package icc_test
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -24,6 +23,7 @@ import (
 
 	icc "repro"
 	"repro/internal/chantransport"
+	"repro/internal/harness"
 	"repro/internal/tcptransport"
 )
 
@@ -222,7 +222,7 @@ func newValErrs(p int) [][]string {
 // channel transport, the TCP transport, and the simulator, at a
 // degenerate and a mid-size group.
 func TestValidateArgsAcrossTransports(t *testing.T) {
-	before := runtime.NumGoroutine()
+	leak := harness.StartLeakCheck()
 	for _, p := range []int{1, 4} {
 		p := p
 		t.Run(fmt.Sprintf("chan/p%d", p), func(t *testing.T) {
@@ -272,13 +272,7 @@ func TestValidateArgsAcrossTransports(t *testing.T) {
 		})
 	}
 	// No rank program or progress goroutine may outlive its world.
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > before {
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	leak.Verify(t)
 }
 
 // TestValidateScatterShortSendOnRoot covers the one blocking case whose
